@@ -1,0 +1,231 @@
+//! The [`Architecture`] type.
+
+use qubikos_graph::{DistanceMatrix, Edge, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Index of a physical qubit on a device.
+pub type PhysicalQubit = NodeId;
+
+/// Error building an [`Architecture`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchitectureError {
+    /// The coupling graph had no qubits.
+    Empty,
+    /// The coupling graph was not connected; routing between the listed
+    /// components would be impossible.
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+}
+
+impl fmt::Display for ArchitectureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchitectureError::Empty => write!(f, "coupling graph has no qubits"),
+            ArchitectureError::Disconnected { components } => write!(
+                f,
+                "coupling graph is disconnected ({components} components); routing is impossible"
+            ),
+        }
+    }
+}
+
+impl Error for ArchitectureError {}
+
+/// A named device: a connected coupling graph plus its distance matrix.
+///
+/// # Example
+///
+/// ```
+/// use qubikos_arch::Architecture;
+/// use qubikos_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let arch = Architecture::new("ring-5", generators::cycle_graph(5))?;
+/// assert_eq!(arch.num_qubits(), 5);
+/// assert_eq!(arch.distance(0, 2), 2);
+/// assert_eq!(arch.distance(0, 3), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Architecture {
+    name: String,
+    coupling: Graph,
+    distances: DistanceMatrix,
+}
+
+impl Architecture {
+    /// Builds an architecture from a coupling graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchitectureError::Empty`] for an empty graph and
+    /// [`ArchitectureError::Disconnected`] if the graph is not connected.
+    pub fn new(name: impl Into<String>, coupling: Graph) -> Result<Self, ArchitectureError> {
+        if coupling.node_count() == 0 {
+            return Err(ArchitectureError::Empty);
+        }
+        let components = qubikos_graph::connected_components(&coupling).len();
+        if components != 1 {
+            return Err(ArchitectureError::Disconnected { components });
+        }
+        let distances = DistanceMatrix::new(&coupling);
+        Ok(Architecture {
+            name: name.into(),
+            coupling,
+            distances,
+        })
+    }
+
+    /// Device name (e.g. `"aspen-4"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.coupling.node_count()
+    }
+
+    /// Number of coupler edges.
+    pub fn num_couplers(&self) -> usize {
+        self.coupling.edge_count()
+    }
+
+    /// The coupling graph.
+    pub fn coupling_graph(&self) -> &Graph {
+        &self.coupling
+    }
+
+    /// The precomputed all-pairs distance matrix.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// Hop distance between two physical qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range.
+    pub fn distance(&self, a: PhysicalQubit, b: PhysicalQubit) -> usize {
+        self.distances.get(a, b)
+    }
+
+    /// Returns `true` if `a` and `b` are coupled (a two-qubit gate can run on them).
+    pub fn are_coupled(&self, a: PhysicalQubit, b: PhysicalQubit) -> bool {
+        self.coupling.has_edge(a, b)
+    }
+
+    /// Neighbours of a physical qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn neighbors(&self, q: PhysicalQubit) -> &[PhysicalQubit] {
+        self.coupling.neighbors(q)
+    }
+
+    /// Degree of a physical qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn degree(&self, q: PhysicalQubit) -> usize {
+        self.coupling.degree(q)
+    }
+
+    /// Iterator over coupler edges.
+    pub fn couplers(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.coupling.edges()
+    }
+
+    /// Average qubit degree — the paper's proxy for "dense" vs "sparse"
+    /// connectivity when explaining why Rochester is harder than Sycamore.
+    pub fn average_degree(&self) -> f64 {
+        2.0 * self.num_couplers() as f64 / self.num_qubits() as f64
+    }
+
+    /// Graph diameter (largest qubit-to-qubit distance).
+    pub fn diameter(&self) -> usize {
+        self.distances.diameter().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} qubits, {} couplers, avg degree {:.2})",
+            self.name,
+            self.num_qubits(),
+            self.num_couplers(),
+            self.average_degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubikos_graph::generators;
+
+    #[test]
+    fn builds_from_connected_graph() {
+        let arch = Architecture::new("grid", generators::grid_graph(3, 3)).expect("connected");
+        assert_eq!(arch.name(), "grid");
+        assert_eq!(arch.num_qubits(), 9);
+        assert_eq!(arch.num_couplers(), 12);
+        assert_eq!(arch.distance(0, 8), 4);
+        assert!(arch.are_coupled(0, 1));
+        assert!(!arch.are_coupled(0, 8));
+        assert_eq!(arch.neighbors(4).len(), 4);
+        assert_eq!(arch.degree(0), 2);
+        assert_eq!(arch.diameter(), 4);
+        assert!((arch.average_degree() - 24.0 / 9.0).abs() < 1e-9);
+        assert_eq!(arch.couplers().count(), 12);
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(
+            Architecture::new("none", Graph::new()).unwrap_err(),
+            ArchitectureError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_disconnected_graph() {
+        let mut g = generators::path_graph(3);
+        g.add_node();
+        match Architecture::new("broken", g).unwrap_err() {
+            ArchitectureError::Disconnected { components } => assert_eq!(components, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let text = ArchitectureError::Disconnected { components: 3 }.to_string();
+        assert!(text.contains("3 components"));
+        assert!(!ArchitectureError::Empty.to_string().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let arch = Architecture::new("line", generators::path_graph(4)).expect("connected");
+        let text = arch.to_string();
+        assert!(text.contains("line"));
+        assert!(text.contains("4 qubits"));
+    }
+
+    #[test]
+    fn single_qubit_architecture_is_valid() {
+        let arch = Architecture::new("one", Graph::with_nodes(1)).expect("single qubit ok");
+        assert_eq!(arch.num_qubits(), 1);
+        assert_eq!(arch.diameter(), 0);
+    }
+}

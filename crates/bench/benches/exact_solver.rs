@@ -1,0 +1,40 @@
+//! Benchmark the exact solver and the optimality certificate — the two
+//! verification paths behind the §IV-A optimality study (experiment E1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qubikos::{generate, verify_certificate, GeneratorConfig};
+use qubikos_arch::DeviceKind;
+use qubikos_exact::{ExactConfig, ExactSolver};
+use std::hint::black_box;
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let arch = DeviceKind::Grid3x3.build();
+    let mut group = c.benchmark_group("exact_solver_grid3x3");
+    group.sample_size(10);
+    for swaps in [1usize, 2] {
+        let bench_circuit =
+            generate(&arch, &GeneratorConfig::new(swaps, 16).with_seed(9)).expect("generates");
+        let solver = ExactSolver::new(ExactConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(swaps), &swaps, |b, _| {
+            b.iter(|| black_box(solver.solve(bench_circuit.circuit(), &arch)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_certificate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimality_certificate");
+    group.sample_size(10);
+    for device in [DeviceKind::Aspen4, DeviceKind::Eagle127] {
+        let arch = device.build();
+        let bench_circuit =
+            generate(&arch, &GeneratorConfig::new(5, 500).with_seed(2)).expect("generates");
+        group.bench_with_input(BenchmarkId::from_parameter(device.name()), &arch, |b, arch| {
+            b.iter(|| black_box(verify_certificate(&bench_circuit, arch).expect("certified")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_solver, bench_certificate);
+criterion_main!(benches);

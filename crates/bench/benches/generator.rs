@@ -1,0 +1,45 @@
+//! Benchmark the QUBIKOS generator itself: how fast can instances for each
+//! evaluation architecture be produced, and what does padding cost?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qubikos::{generate, GeneratorConfig};
+use qubikos_arch::DeviceKind;
+use std::hint::black_box;
+
+fn bench_generation_per_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubikos_generate");
+    group.sample_size(10);
+    for device in DeviceKind::EVALUATION {
+        let arch = device.build();
+        let gates = match device {
+            DeviceKind::Aspen4 => 300,
+            DeviceKind::Eagle127 => 1000,
+            _ => 500,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(device.name()), &arch, |b, arch| {
+            b.iter(|| {
+                let config = GeneratorConfig::new(5, gates).with_seed(1);
+                black_box(generate(arch, &config).expect("generates"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_padding_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubikos_padding");
+    group.sample_size(10);
+    let arch = DeviceKind::Aspen4.build();
+    for gates in [100usize, 300, 600] {
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, &gates| {
+            b.iter(|| {
+                let config = GeneratorConfig::new(4, gates).with_seed(2);
+                black_box(generate(&arch, &config).expect("generates"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation_per_device, bench_padding_cost);
+criterion_main!(benches);

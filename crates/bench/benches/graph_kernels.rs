@@ -1,0 +1,37 @@
+//! Benchmark the substrate kernels every experiment leans on: all-pairs
+//! distances and VF2 subgraph-isomorphism probes on the device graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qubikos_arch::DeviceKind;
+use qubikos_graph::{generators, is_subgraph_isomorphic, DistanceMatrix};
+use std::hint::black_box;
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_matrix");
+    for device in DeviceKind::EVALUATION {
+        let arch = device.build();
+        group.bench_with_input(BenchmarkId::from_parameter(device.name()), &arch, |b, arch| {
+            b.iter(|| black_box(DistanceMatrix::new(arch.coupling_graph())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vf2_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vf2_probe");
+    let eagle = DeviceKind::Eagle127.build();
+    // Embeddable pattern: a 10-qubit path.
+    let path = generators::path_graph(10);
+    group.bench_function("path10_into_eagle", |b| {
+        b.iter(|| black_box(is_subgraph_isomorphic(&path, eagle.coupling_graph())));
+    });
+    // Non-embeddable pattern: a star wider than any heavy-hex degree.
+    let star = generators::star_graph(6);
+    group.bench_function("star6_into_eagle", |b| {
+        b.iter(|| black_box(is_subgraph_isomorphic(&star, eagle.coupling_graph())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_matrix, bench_vf2_probe);
+criterion_main!(benches);

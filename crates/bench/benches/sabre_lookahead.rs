@@ -1,0 +1,40 @@
+//! Benchmark behind the §IV-C case study (experiment E6): routing from the
+//! known-optimal initial mapping with uniform versus decayed lookahead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qubikos::{generate, GeneratorConfig};
+use qubikos_arch::DeviceKind;
+use qubikos_layout::{SabreConfig, SabreRouter};
+use std::hint::black_box;
+
+fn bench_lookahead_variants(c: &mut Criterion) {
+    let arch = DeviceKind::Aspen4.build();
+    let bench_circuit =
+        generate(&arch, &GeneratorConfig::new(4, 150).with_seed(6)).expect("generates");
+    let mut group = c.benchmark_group("sabre_lookahead_aspen4");
+    group.sample_size(10);
+    let variants: [(&str, Option<f64>); 3] =
+        [("uniform", None), ("decay_0.7", Some(0.7)), ("decay_0.4", Some(0.4))];
+    for (name, decay) in variants {
+        let mut config = SabreConfig::default().with_seed(5);
+        config.lookahead_decay = decay;
+        let router = SabreRouter::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &router, |b, router| {
+            b.iter(|| {
+                black_box(
+                    router
+                        .route_with_initial_mapping(
+                            bench_circuit.circuit(),
+                            &arch,
+                            bench_circuit.reference_mapping(),
+                        )
+                        .expect("fits"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookahead_variants);
+criterion_main!(benches);

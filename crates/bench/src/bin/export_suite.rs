@@ -1,0 +1,67 @@
+//! Exports a QUBIKOS benchmark suite to disk so external toolchains
+//! (Qiskit, t|ket⟩, QMAP, …) can be evaluated on the same instances.
+//!
+//! Each instance is written as an OpenQASM 2.0 file plus a JSON sidecar with
+//! the metadata a fair evaluation needs: the optimal SWAP count, the optimal
+//! initial mapping, and the generator seed.
+//!
+//! ```text
+//! export_suite --arch aspen4 --out qubikos_suite [--full]
+//! ```
+
+use qubikos::{generate_suite, SuiteConfig};
+use qubikos_arch::DeviceKind;
+use qubikos_circuit::to_qasm;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let device = arg_value("--arch")
+        .and_then(|name| DeviceKind::parse(&name))
+        .unwrap_or(DeviceKind::Aspen4);
+    let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| "qubikos_suite".to_string()));
+    let full = args.iter().any(|a| a == "--full");
+
+    let arch = device.build();
+    let mut suite_config = SuiteConfig::paper_evaluation(device);
+    if !full {
+        suite_config = suite_config.with_circuits_per_count(2);
+    }
+    let suite = generate_suite(&arch, &suite_config)?;
+
+    fs::create_dir_all(&out_dir)?;
+    for point in &suite {
+        let stem = format!(
+            "{}_swaps{}_inst{}",
+            device.name(),
+            point.swap_count,
+            point.instance
+        );
+        fs::write(out_dir.join(format!("{stem}.qasm")), to_qasm(point.benchmark.circuit()))?;
+        let metadata = serde_json::json!({
+            "architecture": point.benchmark.architecture(),
+            "optimal_swaps": point.benchmark.optimal_swaps(),
+            "two_qubit_gates": point.benchmark.circuit().two_qubit_gate_count(),
+            "seed": point.seed,
+            "optimal_initial_mapping": point.benchmark.reference_mapping().as_slice(),
+        });
+        fs::write(
+            out_dir.join(format!("{stem}.json")),
+            serde_json::to_string_pretty(&metadata)?,
+        )?;
+    }
+    println!(
+        "wrote {} instances for {} to {}",
+        suite.len(),
+        device.name(),
+        out_dir.display()
+    );
+    Ok(())
+}

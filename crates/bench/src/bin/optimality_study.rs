@@ -1,0 +1,35 @@
+//! Regenerates the §IV-A optimality study: every generated circuit is
+//! re-verified (certificate always, exhaustive exact solver on the small
+//! SWAP counts) to confirm it needs exactly its designed SWAP count.
+//!
+//! ```text
+//! optimality_study          # quick run (5 circuits per SWAP count)
+//! optimality_study --full   # the paper's 100 circuits per SWAP count
+//! ```
+
+use qubikos_bench::optimality::{run_optimality_study, OptimalityConfig};
+use qubikos_bench::report::render_optimality;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        OptimalityConfig::paper()
+    } else {
+        OptimalityConfig::quick()
+    };
+    eprintln!(
+        "verifying {} circuits per device on {:?}...",
+        config.suite.total_circuits(),
+        config
+            .devices
+            .iter()
+            .map(|d| d.name())
+            .collect::<Vec<_>>()
+    );
+    let report = run_optimality_study(&config);
+    print!("{}", render_optimality(&report));
+    if report.failures > 0 {
+        eprintln!("ERROR: {} circuits failed verification", report.failures);
+        std::process::exit(1);
+    }
+}

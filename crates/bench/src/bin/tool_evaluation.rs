@@ -1,0 +1,50 @@
+//! Regenerates Figure 4 of the paper: SWAP-ratio optimality gaps of four QLS
+//! tools on the evaluation architectures.
+//!
+//! ```text
+//! tool_evaluation                 # quick run, all four devices
+//! tool_evaluation --arch aspen4   # one device
+//! tool_evaluation --full          # the paper's full circuit counts (slow)
+//! tool_evaluation --all           # all devices plus the aggregate table
+//! ```
+
+use qubikos_arch::DeviceKind;
+use qubikos_bench::evaluation::{aggregate_by_tool, run_tool_evaluation, EvaluationConfig};
+use qubikos_bench::report::{render_aggregate, render_evaluation};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let all = args.iter().any(|a| a == "--all") || !args.iter().any(|a| a == "--arch");
+    let device_filter = args
+        .iter()
+        .position(|a| a == "--arch")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|name| DeviceKind::parse(name));
+
+    let devices: Vec<DeviceKind> = match (device_filter, all) {
+        (Some(device), _) => vec![device],
+        (None, _) => DeviceKind::EVALUATION.to_vec(),
+    };
+
+    let mut reports = Vec::new();
+    for device in devices {
+        let config = if full {
+            EvaluationConfig::paper(device)
+        } else {
+            EvaluationConfig::quick(device)
+        };
+        eprintln!(
+            "running tool evaluation on {} ({} circuits, {} two-qubit gates each)...",
+            device.name(),
+            config.suite.total_circuits(),
+            config.suite.two_qubit_gates
+        );
+        let report = run_tool_evaluation(&config);
+        println!("{}", render_evaluation(&report));
+        reports.push(report);
+    }
+    if reports.len() > 1 {
+        println!("{}", render_aggregate(&aggregate_by_tool(&reports)));
+    }
+}

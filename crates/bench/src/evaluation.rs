@@ -1,0 +1,243 @@
+//! The Figure-4 experiment: SWAP-ratio optimality gaps of heuristic tools.
+
+use parking_lot::Mutex;
+use qubikos::{generate_suite, ExperimentPoint, SuiteConfig};
+use qubikos_arch::{Architecture, DeviceKind};
+use qubikos_layout::{validate_routing, ToolKind};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one tool-evaluation run (one subfigure of Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationConfig {
+    /// Device under evaluation.
+    pub device: DeviceKind,
+    /// Suite to generate (SWAP counts, circuits per count, gate budget).
+    pub suite: SuiteConfig,
+    /// Tools to evaluate.
+    pub tools: Vec<ToolKind>,
+    /// Seed handed to every tool (the suite has its own base seed).
+    pub tool_seed: u64,
+    /// Number of worker threads; 1 disables parallelism.
+    pub threads: usize,
+}
+
+impl EvaluationConfig {
+    /// The paper's full configuration for `device` (10 circuits per SWAP
+    /// count, all four tools).
+    pub fn paper(device: DeviceKind) -> Self {
+        EvaluationConfig {
+            device,
+            suite: SuiteConfig::paper_evaluation(device),
+            tools: ToolKind::ALL.to_vec(),
+            tool_seed: 7,
+            threads: 4,
+        }
+    }
+
+    /// A scaled-down configuration that preserves the experiment's shape but
+    /// runs in seconds (used by the default CLI invocation and the benches).
+    pub fn quick(device: DeviceKind) -> Self {
+        let mut config = Self::paper(device);
+        config.suite = config.suite.with_circuits_per_count(2);
+        // Keep the large devices affordable: fewer gates, same SWAP counts.
+        config.suite.two_qubit_gates = config.suite.two_qubit_gates.min(400);
+        config
+    }
+}
+
+/// Average results of one (tool, designed SWAP count) cell of Figure 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationCell {
+    /// The tool evaluated.
+    pub tool: ToolKind,
+    /// Designed (optimal) SWAP count of the circuits in the cell.
+    pub optimal_swaps: usize,
+    /// Number of circuits in the cell.
+    pub circuits: usize,
+    /// Average SWAPs the tool inserted.
+    pub average_swaps: f64,
+    /// Average SWAP ratio (the paper's optimality gap for this cell).
+    pub swap_ratio: f64,
+}
+
+/// All cells of one device's evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Device the report was produced on.
+    pub device: DeviceKind,
+    /// One row per (tool, SWAP count) combination.
+    pub cells: Vec<EvaluationCell>,
+}
+
+impl EvaluationReport {
+    /// All cells belonging to one tool, ordered by SWAP count.
+    pub fn cells_for(&self, tool: ToolKind) -> Vec<&EvaluationCell> {
+        let mut cells: Vec<&EvaluationCell> =
+            self.cells.iter().filter(|c| c.tool == tool).collect();
+        cells.sort_by_key(|c| c.optimal_swaps);
+        cells
+    }
+
+    /// The device-level optimality gap of one tool: mean SWAP ratio over all
+    /// of its cells.
+    pub fn device_gap(&self, tool: ToolKind) -> Option<f64> {
+        let cells = self.cells_for(tool);
+        if cells.is_empty() {
+            return None;
+        }
+        Some(cells.iter().map(|c| c.swap_ratio).sum::<f64>() / cells.len() as f64)
+    }
+}
+
+/// Runs one subfigure of Figure 4: generates the QUBIKOS suite for the device
+/// and measures the SWAP ratio of every requested tool on every circuit.
+///
+/// # Panics
+///
+/// Panics if a tool produces an invalid routing (this would be a bug in the
+/// tool, not a property of the benchmark, and must never be silently
+/// averaged into the results).
+pub fn run_tool_evaluation(config: &EvaluationConfig) -> EvaluationReport {
+    let arch = config.device.build();
+    let suite = generate_suite(&arch, &config.suite).expect("suite generation succeeds");
+    let results = Mutex::new(Vec::new());
+
+    let threads = config.threads.max(1);
+    let work: Vec<(usize, &ExperimentPoint)> = suite.iter().enumerate().collect();
+    let chunk_size = work.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for chunk in work.chunks(chunk_size.max(1)) {
+            let results = &results;
+            let arch = &arch;
+            let tools = &config.tools;
+            let tool_seed = config.tool_seed;
+            scope.spawn(move |_| {
+                for (_, point) in chunk {
+                    for &tool in tools {
+                        let swaps = route_and_count(tool, tool_seed, point, arch);
+                        results.lock().push((tool, point.swap_count, swaps));
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let raw = results.into_inner();
+    let mut cells = Vec::new();
+    for &tool in &config.tools {
+        for &count in &config.suite.swap_counts {
+            let swaps: Vec<usize> = raw
+                .iter()
+                .filter(|(t, c, _)| *t == tool && *c == count)
+                .map(|(_, _, s)| *s)
+                .collect();
+            if swaps.is_empty() {
+                continue;
+            }
+            let average_swaps = swaps.iter().sum::<usize>() as f64 / swaps.len() as f64;
+            cells.push(EvaluationCell {
+                tool,
+                optimal_swaps: count,
+                circuits: swaps.len(),
+                average_swaps,
+                swap_ratio: average_swaps / count as f64,
+            });
+        }
+    }
+    EvaluationReport {
+        device: config.device,
+        cells,
+    }
+}
+
+fn route_and_count(
+    tool: ToolKind,
+    seed: u64,
+    point: &ExperimentPoint,
+    arch: &Architecture,
+) -> usize {
+    let router = tool.build(seed);
+    let routed = router
+        .route(point.benchmark.circuit(), arch)
+        .expect("benchmark circuits always fit their own architecture");
+    validate_routing(point.benchmark.circuit(), arch, &routed)
+        .expect("tools under evaluation must produce valid routings");
+    routed.swap_count()
+}
+
+/// Aggregates several device reports into the per-tool headline gaps the
+/// abstract quotes (the mean of each tool's device-level gaps).
+pub fn aggregate_by_tool(reports: &[EvaluationReport]) -> Vec<(ToolKind, f64)> {
+    let mut aggregate = Vec::new();
+    for tool in ToolKind::ALL {
+        let gaps: Vec<f64> = reports.iter().filter_map(|r| r.device_gap(tool)).collect();
+        if gaps.is_empty() {
+            continue;
+        }
+        aggregate.push((tool, gaps.iter().sum::<f64>() / gaps.len() as f64));
+    }
+    aggregate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> EvaluationConfig {
+        EvaluationConfig {
+            device: DeviceKind::Grid3x3,
+            suite: SuiteConfig {
+                swap_counts: vec![1, 2],
+                circuits_per_count: 2,
+                two_qubit_gates: 20,
+                base_seed: 5,
+            },
+            tools: vec![ToolKind::LightSabre, ToolKind::Tket],
+            tool_seed: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn evaluation_produces_one_cell_per_tool_and_count() {
+        let report = run_tool_evaluation(&tiny_config());
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            assert_eq!(cell.circuits, 2);
+            assert!(cell.swap_ratio >= 1.0 - 1e-9, "ratio below optimum: {cell:?}");
+        }
+        assert_eq!(report.cells_for(ToolKind::LightSabre).len(), 2);
+        assert!(report.device_gap(ToolKind::LightSabre).is_some());
+        assert!(report.device_gap(ToolKind::Qmap).is_none());
+    }
+
+    #[test]
+    fn single_threaded_run_matches_shape() {
+        let mut config = tiny_config();
+        config.threads = 1;
+        config.tools = vec![ToolKind::LightSabre];
+        let report = run_tool_evaluation(&config);
+        assert_eq!(report.cells.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_averages_device_gaps() {
+        let report = run_tool_evaluation(&tiny_config());
+        let aggregate = aggregate_by_tool(std::slice::from_ref(&report));
+        assert_eq!(aggregate.len(), 2);
+        for (_, gap) in aggregate {
+            assert!(gap >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_and_quick_configs_cover_all_tools() {
+        let paper = EvaluationConfig::paper(DeviceKind::Aspen4);
+        assert_eq!(paper.tools.len(), 4);
+        assert_eq!(paper.suite.two_qubit_gates, 300);
+        let quick = EvaluationConfig::quick(DeviceKind::Eagle127);
+        assert!(quick.suite.two_qubit_gates <= 400);
+        assert_eq!(quick.suite.circuits_per_count, 2);
+    }
+}

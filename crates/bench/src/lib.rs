@@ -1,0 +1,25 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! | Paper artefact | Harness entry point |
+//! |---|---|
+//! | §IV-A optimality study (exact verification of generated SWAP counts) | [`optimality::run_optimality_study`], `--bin optimality_study` |
+//! | Figure 4 (a)–(d): SWAP-ratio optimality gaps of four tools on four devices | [`evaluation::run_tool_evaluation`], `--bin tool_evaluation` |
+//! | Abstract headline gaps (per-tool averages across devices) | [`evaluation::aggregate_by_tool`], printed by `tool_evaluation --all` |
+//! | §IV-C LightSABRE case study (lookahead decay) | [`case_study::run_case_study`], `--bin sabre_case_study` |
+//! | Design ablations (trials, extended-set size, padding) | `--bin ablations`, criterion benches |
+//!
+//! The library functions return plain data structures so that both the CLI
+//! binaries and the criterion benches can reuse them; [`report`] renders the
+//! tables the paper prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod evaluation;
+pub mod optimality;
+pub mod report;
+
+pub use case_study::{run_case_study, CaseStudyOutcome};
+pub use evaluation::{aggregate_by_tool, run_tool_evaluation, EvaluationCell, EvaluationConfig, EvaluationReport};
+pub use optimality::{run_optimality_study, OptimalityConfig, OptimalityReport};

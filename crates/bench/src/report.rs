@@ -1,0 +1,160 @@
+//! Plain-text rendering of experiment reports, mirroring the rows the paper
+//! plots in Figure 4 and quotes in the text.
+
+use crate::case_study::CaseStudyOutcome;
+use crate::evaluation::EvaluationReport;
+use crate::optimality::OptimalityReport;
+use qubikos_layout::ToolKind;
+use std::fmt::Write as _;
+
+/// Renders one device's Figure-4 data as a table: rows are tools, columns are
+/// the designed SWAP counts, entries are the average SWAP ratio.
+pub fn render_evaluation(report: &EvaluationReport) -> String {
+    let mut counts: Vec<usize> = report.cells.iter().map(|c| c.optimal_swaps).collect();
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "SWAP ratio (average inserted / optimal) on {}", report.device.name());
+    let _ = write!(out, "{:<12}", "tool");
+    for c in &counts {
+        let _ = write!(out, "{:>12}", format!("opt={c}"));
+    }
+    let _ = writeln!(out, "{:>12}", "device gap");
+    for tool in ToolKind::ALL {
+        let cells = report.cells_for(tool);
+        if cells.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "{:<12}", tool.name());
+        for c in &counts {
+            match cells.iter().find(|cell| cell.optimal_swaps == *c) {
+                Some(cell) => {
+                    let _ = write!(out, "{:>12.2}", cell.swap_ratio);
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let gap = report.device_gap(tool).unwrap_or(f64::NAN);
+        let _ = writeln!(out, "{gap:>11.2}x");
+    }
+    out
+}
+
+/// Renders the abstract's headline per-tool aggregate gaps.
+pub fn render_aggregate(aggregate: &[(ToolKind, f64)]) -> String {
+    let mut out = String::from("Aggregate optimality gap across devices\n");
+    for (tool, gap) in aggregate {
+        let _ = writeln!(out, "  {:<12}{gap:>8.2}x", tool.name());
+    }
+    out
+}
+
+/// Renders the §IV-A optimality-study summary line.
+pub fn render_optimality(report: &OptimalityReport) -> String {
+    format!(
+        "optimality study: {} circuits, {} certified, {} exhaustively confirmed, {} over exact budget, {} failures\n",
+        report.circuits,
+        report.certified,
+        report.exactly_confirmed,
+        report.exact_budget_exceeded,
+        report.failures
+    )
+}
+
+/// Renders the §IV-C case-study comparison.
+pub fn render_case_study(outcome: &CaseStudyOutcome) -> String {
+    format!(
+        "LightSABRE lookahead case study on {} ({} circuits, optimal initial mapping supplied)\n\
+         uniform lookahead : ratio {:.2}x, optimal on {}/{} circuits\n\
+         decayed lookahead : ratio {:.2}x (decay {}), optimal on {}/{} circuits\n",
+        outcome.device.name(),
+        outcome.circuits,
+        outcome.uniform_lookahead_ratio,
+        outcome.uniform_optimal,
+        outcome.circuits,
+        outcome.decayed_lookahead_ratio,
+        outcome.decay,
+        outcome.decayed_optimal,
+        outcome.circuits
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::EvaluationCell;
+    use qubikos_arch::DeviceKind;
+
+    fn sample_report() -> EvaluationReport {
+        EvaluationReport {
+            device: DeviceKind::Aspen4,
+            cells: vec![
+                EvaluationCell {
+                    tool: ToolKind::LightSabre,
+                    optimal_swaps: 5,
+                    circuits: 10,
+                    average_swaps: 7.0,
+                    swap_ratio: 1.4,
+                },
+                EvaluationCell {
+                    tool: ToolKind::LightSabre,
+                    optimal_swaps: 10,
+                    circuits: 10,
+                    average_swaps: 25.0,
+                    swap_ratio: 2.5,
+                },
+                EvaluationCell {
+                    tool: ToolKind::Tket,
+                    optimal_swaps: 5,
+                    circuits: 10,
+                    average_swaps: 70.0,
+                    swap_ratio: 14.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn evaluation_table_contains_tools_and_counts() {
+        let text = render_evaluation(&sample_report());
+        assert!(text.contains("aspen-4"));
+        assert!(text.contains("lightsabre"));
+        assert!(text.contains("tket"));
+        assert!(text.contains("opt=5"));
+        assert!(text.contains("1.40"));
+        assert!(text.contains("14.00"));
+    }
+
+    #[test]
+    fn aggregate_table_lists_gaps() {
+        let text = render_aggregate(&[(ToolKind::LightSabre, 1.95), (ToolKind::Qmap, 207.0)]);
+        assert!(text.contains("lightsabre"));
+        assert!(text.contains("207.00x"));
+    }
+
+    #[test]
+    fn optimality_and_case_study_render() {
+        let text = render_optimality(&OptimalityReport {
+            circuits: 10,
+            certified: 10,
+            exactly_confirmed: 5,
+            exact_budget_exceeded: 0,
+            failures: 0,
+        });
+        assert!(text.contains("10 circuits"));
+        let text = render_case_study(&CaseStudyOutcome {
+            device: DeviceKind::Aspen4,
+            circuits: 4,
+            uniform_lookahead_ratio: 1.5,
+            decayed_lookahead_ratio: 1.2,
+            decay: 0.7,
+            uniform_optimal: 2,
+            decayed_optimal: 3,
+        });
+        assert!(text.contains("uniform lookahead"));
+        assert!(text.contains("decay 0.7"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Interaction graphs.
+//!
+//! The *interaction graph* `GI(Q, EQ)` of a circuit has one node per program
+//! qubit and an edge between two qubits whenever they share a two-qubit gate.
+//! A circuit can be executed without SWAP insertion exactly when its
+//! interaction graph embeds into the coupling graph, which is why the
+//! QUBIKOS generator works so hard to make its sections' interaction graphs
+//! *not* embed.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use qubikos_graph::Graph;
+
+/// Interaction graph of a whole circuit.
+///
+/// # Example
+///
+/// ```
+/// use qubikos_circuit::{Circuit, Gate, interaction::interaction_graph};
+///
+/// let c = Circuit::from_gates(4, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::h(3)]);
+/// let ig = interaction_graph(&c);
+/// assert_eq!(ig.node_count(), 4);
+/// assert_eq!(ig.edge_count(), 2);
+/// ```
+pub fn interaction_graph(circuit: &Circuit) -> Graph {
+    interaction_graph_of_gates(circuit.num_qubits(), circuit.gates())
+}
+
+/// Interaction graph of an arbitrary slice of gates over `num_qubits` qubits.
+///
+/// Useful for building the interaction graph of a single backbone *section*
+/// rather than the whole circuit.
+///
+/// # Panics
+///
+/// Panics if any gate touches a qubit `>= num_qubits`.
+pub fn interaction_graph_of_gates(num_qubits: usize, gates: &[Gate]) -> Graph {
+    let mut g = Graph::with_nodes(num_qubits);
+    for gate in gates {
+        if let Some((a, b)) = gate.qubit_pair() {
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "gate {gate} out of range for {num_qubits} qubits"
+            );
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+impl Circuit {
+    /// Interaction graph of this circuit (see [`interaction_graph`]).
+    pub fn interaction_graph(&self) -> Graph {
+        interaction_graph(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_pairs_collapse_to_one_edge() {
+        let c = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cz(1, 0), Gate::cx(0, 1)]);
+        let ig = interaction_graph(&c);
+        assert_eq!(ig.edge_count(), 1);
+        assert!(ig.has_edge(0, 1));
+    }
+
+    #[test]
+    fn single_qubit_gates_do_not_create_edges() {
+        let c = Circuit::from_gates(2, [Gate::h(0), Gate::x(1)]);
+        assert_eq!(interaction_graph(&c).edge_count(), 0);
+    }
+
+    #[test]
+    fn method_and_free_function_agree() {
+        let c = Circuit::from_gates(4, [Gate::cx(0, 3), Gate::cx(1, 2)]);
+        assert_eq!(c.interaction_graph(), interaction_graph(&c));
+    }
+
+    #[test]
+    fn graph_of_gate_slice() {
+        let gates = [Gate::cx(0, 1), Gate::cx(2, 3)];
+        let ig = interaction_graph_of_gates(5, &gates);
+        assert_eq!(ig.node_count(), 5);
+        assert_eq!(ig.edge_count(), 2);
+        assert_eq!(ig.degree(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_graph_rejects_out_of_range() {
+        let gates = [Gate::cx(0, 9)];
+        let _ = interaction_graph_of_gates(2, &gates);
+    }
+}

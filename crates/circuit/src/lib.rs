@@ -1,0 +1,45 @@
+//! Quantum circuit intermediate representation for the QUBIKOS suite.
+//!
+//! Layout synthesis only cares about *which* qubits a gate touches and in
+//! *what order* two-qubit gates must execute, so the IR here is deliberately
+//! lean: a [`Circuit`] is a sequence of [`Gate`]s over `num_qubits` program
+//! qubits, from which we derive
+//!
+//! * the [`InteractionGraph`](interaction::interaction_graph) — one node per
+//!   program qubit, one edge per pair that shares a two-qubit gate;
+//! * the [`DependencyDag`] — the paper's gate dependency graph `D(G2, EG)`
+//!   over two-qubit gates only;
+//! * scheduling metrics (depth, two-qubit depth, gate counts); and
+//! * an OpenQASM 2.0 subset for interchange with other toolchains.
+//!
+//! # Example
+//!
+//! ```
+//! use qubikos_circuit::{Circuit, Gate};
+//!
+//! let mut c = Circuit::new(3);
+//! c.push(Gate::h(0));
+//! c.push(Gate::cx(0, 1));
+//! c.push(Gate::cx(1, 2));
+//! assert_eq!(c.two_qubit_gate_count(), 2);
+//! assert_eq!(c.depth(), 3);
+//! let ig = c.interaction_graph();
+//! assert!(ig.has_edge(0, 1));
+//! assert!(!ig.has_edge(0, 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod interaction;
+pub mod metrics;
+pub mod qasm;
+
+pub use circuit::Circuit;
+pub use dag::DependencyDag;
+pub use gate::{Gate, OneQubitKind, TwoQubitKind};
+pub use metrics::CircuitStats;
+pub use qasm::{parse_qasm, to_qasm, ParseQasmError};

@@ -1,0 +1,221 @@
+//! OpenQASM 2.0 subset import/export.
+//!
+//! The exported dialect is the small subset every QLS toolchain understands:
+//! a single quantum register `q`, the one-qubit gates `h x y z s t` and the
+//! two-qubit gates `cx cz swap`. This is enough to hand QUBIKOS circuits to
+//! external compilers (Qiskit, t|ket⟩, QMAP) and to read their input format
+//! back for cross-checking.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, OneQubitKind, TwoQubitKind};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_qasm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQasmError {
+    line: usize,
+    message: String,
+}
+
+impl ParseQasmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseQasmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number the error was found on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseQasmError {}
+
+/// Serializes a circuit to the OpenQASM 2.0 subset.
+///
+/// # Example
+///
+/// ```
+/// use qubikos_circuit::{Circuit, Gate, to_qasm};
+///
+/// let c = Circuit::from_gates(2, [Gate::h(0), Gate::cx(0, 1)]);
+/// let text = to_qasm(&c);
+/// assert!(text.contains("qreg q[2];"));
+/// assert!(text.contains("cx q[0], q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    for gate in circuit.gates() {
+        out.push_str(&format!("{gate};\n"));
+    }
+    out
+}
+
+/// Parses the OpenQASM 2.0 subset produced by [`to_qasm`].
+///
+/// Header lines (`OPENQASM`, `include`), blank lines and `//` comments are
+/// accepted; `creg` and `measure` statements are ignored so circuits exported
+/// by other tools with trailing measurements still load.
+///
+/// # Errors
+///
+/// Returns a [`ParseQasmError`] for unknown gates, malformed operands, qubit
+/// indices outside the declared register, or a missing `qreg` declaration.
+pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line_number = lineno + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
+            continue;
+        }
+        let statement = line
+            .strip_suffix(';')
+            .ok_or_else(|| ParseQasmError::new(line_number, "missing trailing ';'"))?
+            .trim();
+        if statement.starts_with("creg") || statement.starts_with("measure") || statement.starts_with("barrier") {
+            continue;
+        }
+        if let Some(rest) = statement.strip_prefix("qreg") {
+            let n = parse_register_size(rest.trim())
+                .ok_or_else(|| ParseQasmError::new(line_number, "malformed qreg declaration"))?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+        let circuit = circuit
+            .as_mut()
+            .ok_or_else(|| ParseQasmError::new(line_number, "gate before qreg declaration"))?;
+        let (mnemonic, operands) = statement
+            .split_once(' ')
+            .ok_or_else(|| ParseQasmError::new(line_number, "missing operands"))?;
+        let qubits: Vec<usize> = operands
+            .split(',')
+            .map(|op| parse_qubit_operand(op.trim()))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| ParseQasmError::new(line_number, "malformed qubit operand"))?;
+        let gate = build_gate(mnemonic, &qubits)
+            .ok_or_else(|| ParseQasmError::new(line_number, format!("unsupported gate '{mnemonic}'")))?;
+        if gate.max_qubit() >= circuit.num_qubits() {
+            return Err(ParseQasmError::new(
+                line_number,
+                format!("qubit index out of range for register of {}", circuit.num_qubits()),
+            ));
+        }
+        circuit.push(gate);
+    }
+    circuit.ok_or_else(|| ParseQasmError::new(0, "no qreg declaration found"))
+}
+
+fn parse_register_size(decl: &str) -> Option<usize> {
+    // Accepts `q[5]`.
+    let inner = decl.strip_prefix("q[")?.strip_suffix(']')?;
+    inner.parse().ok()
+}
+
+fn parse_qubit_operand(op: &str) -> Option<usize> {
+    let inner = op.strip_prefix("q[")?.strip_suffix(']')?;
+    inner.parse().ok()
+}
+
+fn build_gate(mnemonic: &str, qubits: &[usize]) -> Option<Gate> {
+    match (mnemonic, qubits) {
+        ("h", [q]) => Some(Gate::one(OneQubitKind::H, *q)),
+        ("x", [q]) => Some(Gate::one(OneQubitKind::X, *q)),
+        ("y", [q]) => Some(Gate::one(OneQubitKind::Y, *q)),
+        ("z", [q]) => Some(Gate::one(OneQubitKind::Z, *q)),
+        ("s", [q]) => Some(Gate::one(OneQubitKind::S, *q)),
+        ("t", [q]) => Some(Gate::one(OneQubitKind::T, *q)),
+        ("cx", [a, b]) if a != b => Some(Gate::two(TwoQubitKind::Cx, *a, *b)),
+        ("cz", [a, b]) if a != b => Some(Gate::two(TwoQubitKind::Cz, *a, *b)),
+        ("swap", [a, b]) if a != b => Some(Gate::two(TwoQubitKind::Swap, *a, *b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        Circuit::from_gates(
+            4,
+            [
+                Gate::h(0),
+                Gate::cx(0, 1),
+                Gate::cz(1, 2),
+                Gate::swap(2, 3),
+                Gate::t(3),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_circuit() {
+        let c = sample();
+        let parsed = parse_qasm(&to_qasm(&c)).expect("round trip");
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "OPENQASM 2.0;\n\n// a comment\nqreg q[2];\nh q[0]; // trailing comment\ncx q[0], q[1];\n";
+        let c = parse_qasm(text).expect("parse");
+        assert_eq!(c.gate_count(), 2);
+    }
+
+    #[test]
+    fn ignores_creg_measure_barrier() {
+        let text = "qreg q[2];\ncreg c[2];\ncx q[0], q[1];\nbarrier q[0], q[1];\nmeasure q[0] -> c[0];\n";
+        let c = parse_qasm(text).expect("parse");
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse_qasm("qreg q[2];\nccx q[0], q[1];\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("unsupported gate"));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse_qasm("qreg q[2];\nh q[0]\n").unwrap_err();
+        assert!(err.to_string().contains("missing trailing"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_qubit() {
+        let err = parse_qasm("qreg q[2];\ncx q[0], q[5];\n").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_gate_before_register() {
+        let err = parse_qasm("h q[0];\n").unwrap_err();
+        assert!(err.to_string().contains("before qreg"));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_qasm("").is_err());
+    }
+
+    #[test]
+    fn header_is_well_formed() {
+        let text = to_qasm(&Circuit::new(3));
+        assert!(text.starts_with("OPENQASM 2.0;\n"));
+        assert!(text.contains("qreg q[3];"));
+    }
+}

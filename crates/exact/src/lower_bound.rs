@@ -1,0 +1,119 @@
+//! Admissible lower bounds on the optimal SWAP count.
+
+use qubikos_arch::Architecture;
+use qubikos_circuit::Circuit;
+use qubikos_graph::{is_subgraph_isomorphic, Vf2Matcher};
+
+/// Lower bound from interaction-graph embeddability: 0 if the interaction
+/// graph embeds into the coupling graph (the circuit *might* be SWAP-free),
+/// otherwise 1 (at least one SWAP is certainly required).
+///
+/// This is exactly Lemma 1 of the paper turned into a check: a circuit whose
+/// interaction graph is not isomorphic to any subgraph of the coupling graph
+/// cannot be executed under any single mapping.
+pub fn embedding_lower_bound(circuit: &Circuit, arch: &Architecture) -> usize {
+    if circuit.two_qubit_gate_count() == 0 {
+        return 0;
+    }
+    let interaction = circuit.interaction_graph();
+    if is_subgraph_isomorphic(&interaction, arch.coupling_graph()) {
+        0
+    } else {
+        1
+    }
+}
+
+/// Degree-surplus lower bound: every SWAP can only connect a program qubit to
+/// qubits hosted on neighbouring physical locations, so if the interaction
+/// graph has more edges incident to "over-subscribed" qubits than any
+/// placement can satisfy, extra SWAPs are needed.
+///
+/// Concretely, for a program qubit `q` with interaction degree `d(q)` mapped
+/// to any physical qubit of degree `dp`, at least `d(q) - dp` of its
+/// interaction partners must be brought in by SWAPs, and one SWAP brings in
+/// at most one new partner for `q`. Maximising over program qubits (with the
+/// most favourable physical qubit assumed) yields an admissible bound.
+pub fn degree_surplus_lower_bound(circuit: &Circuit, arch: &Architecture) -> usize {
+    let interaction = circuit.interaction_graph();
+    let max_physical_degree = arch.coupling_graph().max_degree();
+    interaction
+        .nodes()
+        .map(|q| interaction.degree(q).saturating_sub(max_physical_degree))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The best cheap lower bound we can certify without search: the maximum of
+/// the embedding bound and the degree-surplus bound, with a bounded-effort
+/// VF2 probe so the bound stays cheap on large inputs.
+pub fn swap_lower_bound(circuit: &Circuit, arch: &Architecture) -> usize {
+    let degree_bound = degree_surplus_lower_bound(circuit, arch);
+    if degree_bound >= 1 {
+        // Already know at least one SWAP is needed; the embedding probe can
+        // only confirm that, so skip it.
+        return degree_bound;
+    }
+    if circuit.two_qubit_gate_count() == 0 {
+        return 0;
+    }
+    let interaction = circuit.interaction_graph();
+    let embeds = Vf2Matcher::new(&interaction, arch.coupling_graph())
+        .with_node_limit(2_000_000)
+        .is_isomorphic_to_subgraph();
+    usize::from(!embeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubikos_arch::devices;
+    use qubikos_circuit::Gate;
+
+    #[test]
+    fn embeddable_circuit_has_zero_bound() {
+        let arch = devices::grid(3, 3);
+        let circuit = Circuit::from_gates(4, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(2, 3)]);
+        assert_eq!(embedding_lower_bound(&circuit, &arch), 0);
+        assert_eq!(swap_lower_bound(&circuit, &arch), 0);
+    }
+
+    #[test]
+    fn triangle_on_line_needs_a_swap() {
+        let arch = devices::line(3);
+        let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
+        assert_eq!(embedding_lower_bound(&circuit, &arch), 1);
+        assert_eq!(swap_lower_bound(&circuit, &arch), 1);
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_bound() {
+        let arch = devices::line(3);
+        let circuit = Circuit::new(3);
+        assert_eq!(embedding_lower_bound(&circuit, &arch), 0);
+        assert_eq!(swap_lower_bound(&circuit, &arch), 0);
+    }
+
+    #[test]
+    fn degree_surplus_counts_excess_neighbours() {
+        // A star with 5 leaves on a grid whose max degree is 4: the hub needs
+        // at least one SWAP to reach its fifth partner.
+        let arch = devices::grid(3, 3);
+        let gates: Vec<Gate> = (1..=5).map(|i| Gate::cx(0, i)).collect();
+        let circuit = Circuit::from_gates(6, gates);
+        assert_eq!(degree_surplus_lower_bound(&circuit, &arch), 1);
+        assert_eq!(swap_lower_bound(&circuit, &arch), 1);
+
+        // Seven leaves: at least three partners must be swapped in.
+        let gates: Vec<Gate> = (1..=7).map(|i| Gate::cx(0, i)).collect();
+        let circuit = Circuit::from_gates(8, gates);
+        assert_eq!(degree_surplus_lower_bound(&circuit, &arch), 3);
+        assert_eq!(swap_lower_bound(&circuit, &arch), 3);
+    }
+
+    #[test]
+    fn degree_surplus_is_zero_for_low_degree_circuits() {
+        let arch = devices::grid(3, 3);
+        let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2)]);
+        assert_eq!(degree_surplus_lower_bound(&circuit, &arch), 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! Exhaustive minimal-SWAP search.
+//!
+//! The solver decides, for increasing `k`, whether the circuit can be
+//! executed with at most `k` SWAP gates under *some* initial mapping. The
+//! search assigns program qubits to physical qubits lazily (a program qubit
+//! is only pinned down at the moment its first gate executes), which keeps
+//! the branching factor independent of the device size for sparsely-used
+//! devices while remaining complete:
+//!
+//! * executing a ready gate whose qubits are already mapped to adjacent
+//!   locations is always done greedily (no choice is lost);
+//! * a ready gate with unmapped qubits branches over every placement that
+//!   makes it executable right now — deferring the placement decision to
+//!   this moment is complete because an unmapped qubit's earlier positions
+//!   cannot have influenced anything;
+//! * a SWAP branches over every coupler with at least one mapped endpoint —
+//!   SWAPs between two unmapped locations never change the reachable states.
+//!
+//! Infeasibility of `k-1` plus a witness at `k` proves optimality, exactly
+//! the evidence OLSQ2 provides in the paper's §IV-A study.
+
+use crate::lower_bound::swap_lower_bound;
+use qubikos_arch::Architecture;
+use qubikos_circuit::{Circuit, DependencyDag};
+use qubikos_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the exact solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExactConfig {
+    /// Largest SWAP count to try before giving up.
+    pub max_swaps: usize,
+    /// Maximum number of search nodes per feasibility query; when exceeded
+    /// the query (and therefore the overall result) is reported as unproven.
+    pub node_budget: u64,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_swaps: 8,
+            node_budget: 20_000_000,
+        }
+    }
+}
+
+/// Outcome of an exact solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExactResult {
+    /// The optimal SWAP count, if the solver found a feasible `k` within
+    /// `max_swaps`.
+    pub optimal_swaps: Option<usize>,
+    /// `true` when the reported value is certain: every smaller SWAP count
+    /// was exhaustively refuted within the node budget.
+    pub proven: bool,
+    /// Total number of search nodes expanded across all feasibility queries.
+    pub nodes_explored: u64,
+}
+
+/// Exhaustive exact minimal-SWAP solver (OLSQ2 substitute).
+#[derive(Debug, Clone, Default)]
+pub struct ExactSolver {
+    config: ExactConfig,
+}
+
+/// Answer of a single bounded feasibility query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Feasibility {
+    /// A routing with at most the queried number of SWAPs exists.
+    Feasible,
+    /// No such routing exists (exhaustively proven).
+    Infeasible,
+    /// The node budget ran out before the search completed.
+    Unknown,
+}
+
+impl ExactSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: ExactConfig) -> Self {
+        ExactSolver { config }
+    }
+
+    /// Finds the minimum SWAP count for `circuit` on `arch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit uses more qubits than the device provides.
+    pub fn solve(&self, circuit: &Circuit, arch: &Architecture) -> ExactResult {
+        assert!(
+            circuit.num_qubits() <= arch.num_qubits(),
+            "circuit does not fit the device"
+        );
+        let mut nodes = 0u64;
+        let start = swap_lower_bound(circuit, arch);
+        for k in start..=self.config.max_swaps {
+            let mut search = Search::new(circuit, arch, self.config.node_budget);
+            let feasibility = search.feasible_with(k);
+            nodes += search.nodes;
+            match feasibility {
+                Feasibility::Feasible => {
+                    return ExactResult {
+                        optimal_swaps: Some(k),
+                        // All smaller k (if any beyond the certified lower
+                        // bound) were refuted exhaustively, so the value is
+                        // proven.
+                        proven: true,
+                        nodes_explored: nodes,
+                    };
+                }
+                Feasibility::Infeasible => continue,
+                Feasibility::Unknown => {
+                    return ExactResult {
+                        optimal_swaps: None,
+                        proven: false,
+                        nodes_explored: nodes,
+                    };
+                }
+            }
+        }
+        ExactResult {
+            optimal_swaps: None,
+            proven: false,
+            nodes_explored: nodes,
+        }
+    }
+
+    /// Checks whether `circuit` can be routed with at most `max_swaps` SWAPs.
+    ///
+    /// Returns `None` when the node budget was exhausted before an answer was
+    /// established.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit uses more qubits than the device provides.
+    pub fn is_feasible(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+        max_swaps: usize,
+    ) -> Option<bool> {
+        assert!(
+            circuit.num_qubits() <= arch.num_qubits(),
+            "circuit does not fit the device"
+        );
+        let mut search = Search::new(circuit, arch, self.config.node_budget);
+        match search.feasible_with(max_swaps) {
+            Feasibility::Feasible => Some(true),
+            Feasibility::Infeasible => Some(false),
+            Feasibility::Unknown => None,
+        }
+    }
+}
+
+/// DFS state for one feasibility query.
+struct Search<'a> {
+    arch: &'a Architecture,
+    dag: DependencyDag,
+    budget: u64,
+    nodes: u64,
+}
+
+#[derive(Clone)]
+struct State {
+    /// Program qubit → physical location (usize::MAX when not yet placed).
+    position: Vec<NodeId>,
+    /// Physical location → program qubit (usize::MAX when empty).
+    occupant: Vec<NodeId>,
+    /// Whether each DAG node has been executed.
+    executed: Vec<bool>,
+    /// Remaining unexecuted predecessors per DAG node.
+    remaining_preds: Vec<usize>,
+    /// Number of DAG nodes executed so far.
+    executed_count: usize,
+}
+
+const UNPLACED: NodeId = usize::MAX;
+
+impl<'a> Search<'a> {
+    fn new(circuit: &Circuit, arch: &'a Architecture, budget: u64) -> Self {
+        let dag = DependencyDag::from_circuit(circuit);
+        Search {
+            arch,
+            dag,
+            budget,
+            nodes: 0,
+        }
+    }
+
+    fn feasible_with(&mut self, max_swaps: usize) -> Feasibility {
+        if self.dag.is_empty() {
+            return Feasibility::Feasible;
+        }
+        let num_program = self
+            .dag
+            .gates()
+            .iter()
+            .map(|g| g.max_qubit() + 1)
+            .max()
+            .unwrap_or(0);
+        let state = State {
+            position: vec![UNPLACED; num_program],
+            occupant: vec![UNPLACED; self.arch.num_qubits()],
+            executed: vec![false; self.dag.len()],
+            remaining_preds: (0..self.dag.len())
+                .map(|i| self.dag.predecessors(i).len())
+                .collect(),
+            executed_count: 0,
+        };
+        self.dfs(state, max_swaps)
+    }
+
+    fn dfs(&mut self, mut state: State, swaps_left: usize) -> Feasibility {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return Feasibility::Unknown;
+        }
+        self.greedy_execute(&mut state);
+        if state.executed_count == self.dag.len() {
+            return Feasibility::Feasible;
+        }
+        if self.prune(&state, swaps_left) {
+            return Feasibility::Infeasible;
+        }
+
+        let mut saw_unknown = false;
+
+        // Branch 1: execute a ready gate by placing its unplaced qubit(s).
+        for node in self.ready_nodes(&state) {
+            let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
+            let (pa, pb) = (state.position[a], state.position[b]);
+            match (pa == UNPLACED, pb == UNPLACED) {
+                (false, false) => continue, // needs SWAPs, not placement
+                (true, false) => {
+                    for &loc in self.arch.neighbors(pb) {
+                        if state.occupant[loc] != UNPLACED {
+                            continue;
+                        }
+                        let mut next = state.clone();
+                        place(&mut next, a, loc);
+                        execute(&mut next, &self.dag, node);
+                        match self.dfs(next, swaps_left) {
+                            Feasibility::Feasible => return Feasibility::Feasible,
+                            Feasibility::Unknown => saw_unknown = true,
+                            Feasibility::Infeasible => {}
+                        }
+                    }
+                }
+                (false, true) => {
+                    for &loc in self.arch.neighbors(pa) {
+                        if state.occupant[loc] != UNPLACED {
+                            continue;
+                        }
+                        let mut next = state.clone();
+                        place(&mut next, b, loc);
+                        execute(&mut next, &self.dag, node);
+                        match self.dfs(next, swaps_left) {
+                            Feasibility::Feasible => return Feasibility::Feasible,
+                            Feasibility::Unknown => saw_unknown = true,
+                            Feasibility::Infeasible => {}
+                        }
+                    }
+                }
+                (true, true) => {
+                    for edge in self.arch.couplers() {
+                        for (la, lb) in [(edge.u, edge.v), (edge.v, edge.u)] {
+                            if state.occupant[la] != UNPLACED || state.occupant[lb] != UNPLACED {
+                                continue;
+                            }
+                            let mut next = state.clone();
+                            place(&mut next, a, la);
+                            place(&mut next, b, lb);
+                            execute(&mut next, &self.dag, node);
+                            match self.dfs(next, swaps_left) {
+                                Feasibility::Feasible => return Feasibility::Feasible,
+                                Feasibility::Unknown => saw_unknown = true,
+                                Feasibility::Infeasible => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Branch 2: spend a SWAP on any coupler touching a placed qubit.
+        if swaps_left > 0 {
+            for edge in self.arch.couplers() {
+                if state.occupant[edge.u] == UNPLACED && state.occupant[edge.v] == UNPLACED {
+                    continue;
+                }
+                let mut next = state.clone();
+                apply_swap(&mut next, edge.u, edge.v);
+                match self.dfs(next, swaps_left - 1) {
+                    Feasibility::Feasible => return Feasibility::Feasible,
+                    Feasibility::Unknown => saw_unknown = true,
+                    Feasibility::Infeasible => {}
+                }
+            }
+        }
+
+        if saw_unknown {
+            Feasibility::Unknown
+        } else {
+            Feasibility::Infeasible
+        }
+    }
+
+    /// Executes every ready gate whose qubits are placed and adjacent, repeatedly.
+    fn greedy_execute(&self, state: &mut State) {
+        loop {
+            let mut progressed = false;
+            for node in 0..self.dag.len() {
+                if state.executed[node] || state.remaining_preds[node] != 0 {
+                    continue;
+                }
+                let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
+                let (pa, pb) = (state.position[a], state.position[b]);
+                if pa != UNPLACED && pb != UNPLACED && self.arch.are_coupled(pa, pb) {
+                    execute(state, &self.dag, node);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Ready (all predecessors executed) but unexecuted DAG nodes.
+    fn ready_nodes(&self, state: &State) -> Vec<usize> {
+        (0..self.dag.len())
+            .filter(|&n| !state.executed[n] && state.remaining_preds[n] == 0)
+            .collect()
+    }
+
+    /// Admissible dead-end check: some unexecuted gate already has both
+    /// qubits placed at a distance no SWAP budget can close.
+    fn prune(&self, state: &State, swaps_left: usize) -> bool {
+        for node in 0..self.dag.len() {
+            if state.executed[node] {
+                continue;
+            }
+            let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
+            let (pa, pb) = (state.position[a], state.position[b]);
+            if pa != UNPLACED && pb != UNPLACED {
+                let needed = self.arch.distance(pa, pb).saturating_sub(1);
+                if needed > swaps_left {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn place(state: &mut State, program: NodeId, location: NodeId) {
+    debug_assert_eq!(state.position[program], UNPLACED);
+    debug_assert_eq!(state.occupant[location], UNPLACED);
+    state.position[program] = location;
+    state.occupant[location] = program;
+}
+
+fn execute(state: &mut State, dag: &DependencyDag, node: usize) {
+    debug_assert!(!state.executed[node]);
+    state.executed[node] = true;
+    state.executed_count += 1;
+    for &s in dag.successors(node) {
+        state.remaining_preds[s] -= 1;
+    }
+}
+
+fn apply_swap(state: &mut State, a: NodeId, b: NodeId) {
+    let qa = state.occupant[a];
+    let qb = state.occupant[b];
+    state.occupant[a] = qb;
+    state.occupant[b] = qa;
+    if qa != UNPLACED {
+        state.position[qa] = b;
+    }
+    if qb != UNPLACED {
+        state.position[qb] = a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubikos_arch::devices;
+    use qubikos_circuit::Gate;
+
+    fn solver() -> ExactSolver {
+        ExactSolver::new(ExactConfig {
+            max_swaps: 4,
+            node_budget: 5_000_000,
+        })
+    }
+
+    #[test]
+    fn empty_circuit_needs_no_swaps() {
+        let arch = devices::line(3);
+        let result = solver().solve(&Circuit::new(3), &arch);
+        assert_eq!(result.optimal_swaps, Some(0));
+        assert!(result.proven);
+    }
+
+    #[test]
+    fn embeddable_circuit_needs_no_swaps() {
+        let arch = devices::grid(3, 3);
+        let circuit = Circuit::from_gates(5, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(2, 3), Gate::cx(3, 4)]);
+        let result = solver().solve(&circuit, &arch);
+        assert_eq!(result.optimal_swaps, Some(0));
+    }
+
+    #[test]
+    fn triangle_on_line_needs_exactly_one_swap() {
+        let arch = devices::line(3);
+        let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
+        let result = solver().solve(&circuit, &arch);
+        assert_eq!(result.optimal_swaps, Some(1));
+        assert!(result.proven);
+    }
+
+    #[test]
+    fn two_triangles_on_line_need_two_swaps() {
+        // Two serialised triangle patterns over disjoint phases of the same
+        // three qubits: each phase forces one SWAP on a line.
+        let arch = devices::line(3);
+        let circuit = Circuit::from_gates(
+            3,
+            [
+                Gate::cx(0, 1),
+                Gate::cx(1, 2),
+                Gate::cx(0, 2),
+                Gate::cx(0, 1),
+                Gate::cx(1, 2),
+                Gate::cx(0, 2),
+            ],
+        );
+        let result = solver().solve(&circuit, &arch);
+        // After resolving the first triangle with one SWAP, the second
+        // triangle again has all three pairs pending; a line can host at most
+        // two of the three adjacencies under any mapping.
+        assert_eq!(result.optimal_swaps, Some(2));
+        assert!(result.proven);
+    }
+
+    #[test]
+    fn star_with_five_leaves_on_grid_needs_one_swap() {
+        let arch = devices::grid(3, 3);
+        let gates: Vec<Gate> = (1..=5).map(|i| Gate::cx(0, i)).collect();
+        let circuit = Circuit::from_gates(6, gates);
+        let result = solver().solve(&circuit, &arch);
+        assert_eq!(result.optimal_swaps, Some(1));
+        assert!(result.proven);
+    }
+
+    #[test]
+    fn is_feasible_agrees_with_solve() {
+        let arch = devices::line(3);
+        let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
+        let s = solver();
+        assert_eq!(s.is_feasible(&circuit, &arch, 0), Some(false));
+        assert_eq!(s.is_feasible(&circuit, &arch, 1), Some(true));
+        assert_eq!(s.is_feasible(&circuit, &arch, 3), Some(true));
+    }
+
+    #[test]
+    fn exhausted_budget_reports_unproven() {
+        let tiny = ExactSolver::new(ExactConfig {
+            max_swaps: 4,
+            node_budget: 1,
+        });
+        let arch = devices::grid(3, 3);
+        let gates: Vec<Gate> = (1..=5).map(|i| Gate::cx(0, i)).collect();
+        let circuit = Circuit::from_gates(6, gates);
+        let result = tiny.solve(&circuit, &arch);
+        assert!(!result.proven);
+        assert_eq!(result.optimal_swaps, None);
+    }
+
+    #[test]
+    fn respects_max_swaps_cap() {
+        let capped = ExactSolver::new(ExactConfig {
+            max_swaps: 0,
+            node_budget: 1_000_000,
+        });
+        let arch = devices::line(3);
+        let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
+        let result = capped.solve(&circuit, &arch);
+        assert_eq!(result.optimal_swaps, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_circuit() {
+        let arch = devices::line(2);
+        let circuit = Circuit::from_gates(4, [Gate::cx(0, 3)]);
+        let _ = solver().solve(&circuit, &arch);
+    }
+}

@@ -1,0 +1,156 @@
+//! All-pairs shortest-path distances.
+//!
+//! Every SWAP-routing heuristic in the suite scores candidate SWAPs by how
+//! much they reduce the coupling-graph distance between the qubits of pending
+//! gates, so the distance matrix is precomputed once per architecture and
+//! shared.
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::bfs_distances;
+use serde::{Deserialize, Serialize};
+
+/// Dense all-pairs shortest-path (hop) distance matrix.
+///
+/// Distances between nodes in different connected components are
+/// `usize::MAX`.
+///
+/// # Example
+///
+/// ```
+/// use qubikos_graph::{generators, DistanceMatrix};
+///
+/// let grid = generators::grid_graph(3, 3);
+/// let dist = DistanceMatrix::new(&grid);
+/// assert_eq!(dist.get(0, 8), 4);
+/// assert_eq!(dist.get(4, 4), 0);
+/// assert_eq!(dist.diameter(), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<usize>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest paths with one BFS per node.
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut data = Vec::with_capacity(n * n);
+        for u in graph.nodes() {
+            data.extend(bfs_distances(graph, u));
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of nodes the matrix was computed for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `a` and `b` (`usize::MAX` if disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn get(&self, a: NodeId, b: NodeId) -> usize {
+        assert!(a < self.n && b < self.n, "node out of range");
+        self.data[a * self.n + b]
+    }
+
+    /// Row of distances from `a` to every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn row(&self, a: NodeId) -> &[usize] {
+        assert!(a < self.n, "node out of range");
+        &self.data[a * self.n..(a + 1) * self.n]
+    }
+
+    /// Largest finite distance, or `None` if the graph has fewer than two
+    /// nodes or is disconnected.
+    pub fn diameter(&self) -> Option<usize> {
+        if self.n < 2 {
+            return None;
+        }
+        let mut max = 0;
+        for &d in &self.data {
+            if d == usize::MAX {
+                return None;
+            }
+            max = max.max(d);
+        }
+        Some(max)
+    }
+
+    /// Returns `true` if every pair of nodes has a finite distance.
+    pub fn is_connected(&self) -> bool {
+        self.data.iter().all(|&d| d != usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_path() {
+        let g = generators::path_graph(4);
+        let d = DistanceMatrix::new(&g);
+        assert_eq!(d.node_count(), 4);
+        assert_eq!(d.get(0, 3), 3);
+        assert_eq!(d.get(3, 0), 3);
+        assert_eq!(d.get(1, 1), 0);
+        assert_eq!(d.diameter(), Some(3));
+        assert!(d.is_connected());
+    }
+
+    #[test]
+    fn symmetric_on_random_like_graph() {
+        let g = generators::grid_graph(4, 5);
+        let d = DistanceMatrix::new(&g);
+        for a in 0..g.node_count() {
+            for b in 0..g.node_count() {
+                assert_eq!(d.get(a, b), d.get(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_reports_max() {
+        let mut g = generators::path_graph(2);
+        g.add_node();
+        let d = DistanceMatrix::new(&g);
+        assert_eq!(d.get(0, 2), usize::MAX);
+        assert_eq!(d.diameter(), None);
+        assert!(!d.is_connected());
+    }
+
+    #[test]
+    fn row_matches_get() {
+        let g = generators::cycle_graph(6);
+        let d = DistanceMatrix::new(&g);
+        let row = d.row(2);
+        for b in 0..6 {
+            assert_eq!(row[b], d.get(2, b));
+        }
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let d = DistanceMatrix::new(&Graph::with_nodes(1));
+        assert_eq!(d.diameter(), None);
+        assert!(d.is_connected());
+        let d = DistanceMatrix::new(&Graph::new());
+        assert_eq!(d.node_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let g = generators::path_graph(2);
+        let d = DistanceMatrix::new(&g);
+        let _ = d.get(0, 7);
+    }
+}

@@ -1,0 +1,375 @@
+//! A QMAP-style per-layer A* router.
+//!
+//! QMAP's published heuristic mapper partitions the circuit into layers of
+//! independent gates and, for each layer, searches over SWAP sequences until
+//! every gate of the layer acts on coupled qubits. This module implements
+//! that design with a bounded A* search per layer: nodes are mappings,
+//! transitions are single SWAPs on couplers incident to the layer's qubits,
+//! the path cost is the number of SWAPs, and the heuristic is the summed
+//! excess distance of the layer's gates. When the node budget runs out the
+//! search falls back to the best partial state found so far and continues
+//! greedily, so routing always terminates.
+
+use crate::mapping::Mapping;
+use crate::placement::greedy_bfs_placement;
+use crate::result::RoutedCircuit;
+use crate::router::{RouteError, Router};
+use qubikos_arch::Architecture;
+use qubikos_circuit::{Circuit, DependencyDag, Gate};
+use qubikos_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Tuning knobs of the QMAP-style router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AStarConfig {
+    /// RNG seed (reserved; the search itself is deterministic).
+    pub seed: u64,
+    /// Maximum number of states expanded per layer before falling back to a
+    /// greedy completion of that layer.
+    pub max_expansions_per_layer: usize,
+}
+
+impl Default for AStarConfig {
+    fn default() -> Self {
+        AStarConfig {
+            seed: 0,
+            max_expansions_per_layer: 4000,
+        }
+    }
+}
+
+impl AStarConfig {
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// QMAP-style layer-by-layer A* router.
+#[derive(Debug, Clone, Default)]
+pub struct AStarRouter {
+    config: AStarConfig,
+}
+
+impl AStarRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: AStarConfig) -> Self {
+        AStarRouter { config }
+    }
+}
+
+impl Router for AStarRouter {
+    fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
+        if circuit.num_qubits() > arch.num_qubits() {
+            return Err(RouteError::TooManyQubits {
+                program: circuit.num_qubits(),
+                physical: arch.num_qubits(),
+            });
+        }
+        let initial = greedy_bfs_placement(circuit, arch);
+        let mut mapping = initial.clone();
+        let dag = DependencyDag::from_circuit(circuit);
+        let (attached, trailing) = super::sabre::attach_for_router(circuit, &dag);
+        let mut out = Circuit::new(arch.num_qubits());
+
+        for layer in dag.layers() {
+            // Find a SWAP sequence that makes every gate of this layer executable.
+            let pairs: Vec<(usize, usize)> = layer
+                .iter()
+                .map(|&node| dag.gate(node).qubit_pair().expect("two-qubit gate"))
+                .collect();
+            let swaps = self.solve_layer(&pairs, arch, &mapping);
+
+            // Gates within a layer act on disjoint qubits, so each one can be
+            // emitted the moment its pair becomes adjacent — later SWAPs of
+            // the same layer are then free to move its qubits again.
+            let mut emitted = vec![false; layer.len()];
+            let emit_ready =
+                |mapping: &Mapping, out: &mut Circuit, emitted: &mut Vec<bool>| {
+                    for (k, &node) in layer.iter().enumerate() {
+                        if emitted[k] {
+                            continue;
+                        }
+                        let (a, b) = pairs[k];
+                        if arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
+                            for g in &attached[node] {
+                                out.push(g.map_qubits(|q| mapping.physical(q)));
+                            }
+                            out.push(dag.gate(node).map_qubits(|q| mapping.physical(q)));
+                            emitted[k] = true;
+                        }
+                    }
+                };
+            emit_ready(&mapping, &mut out, &mut emitted);
+            for (pa, pb) in swaps {
+                out.push(Gate::swap(pa, pb));
+                mapping.apply_swap_physical(pa, pb);
+                emit_ready(&mapping, &mut out, &mut emitted);
+            }
+            // Safety net: if the search's fallback left a pair apart, walk it
+            // together along a shortest path so routing always completes.
+            for (k, &node) in layer.iter().enumerate() {
+                if emitted[k] {
+                    continue;
+                }
+                let (a, b) = pairs[k];
+                while !arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
+                    let pa = mapping.physical(a);
+                    let pb = mapping.physical(b);
+                    let next = arch
+                        .neighbors(pa)
+                        .iter()
+                        .copied()
+                        .min_by_key(|&n| arch.distance(n, pb))
+                        .expect("connected architecture");
+                    out.push(Gate::swap(pa, next));
+                    mapping.apply_swap_physical(pa, next);
+                }
+                for g in &attached[node] {
+                    out.push(g.map_qubits(|q| mapping.physical(q)));
+                }
+                out.push(dag.gate(node).map_qubits(|q| mapping.physical(q)));
+            }
+        }
+        for gate in &trailing {
+            out.push(gate.map_qubits(|q| mapping.physical(q)));
+        }
+
+        Ok(RoutedCircuit {
+            physical_circuit: out,
+            initial_mapping: initial,
+            final_mapping: mapping,
+            tool: self.name().to_string(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "qmap"
+    }
+}
+
+impl AStarRouter {
+    /// Summed excess distance of the layer's gate pairs under `assignment`.
+    fn heuristic(pairs: &[(usize, usize)], arch: &Architecture, assignment: &[NodeId]) -> usize {
+        pairs
+            .iter()
+            .map(|&(a, b)| arch.distance(assignment[a], assignment[b]).saturating_sub(1))
+            .sum()
+    }
+
+    /// A* over SWAP sequences until every pair in `pairs` is adjacent.
+    fn solve_layer(
+        &self,
+        pairs: &[(usize, usize)],
+        arch: &Architecture,
+        mapping: &Mapping,
+    ) -> Vec<(NodeId, NodeId)> {
+        let start: Vec<NodeId> = (0..mapping.num_program()).map(|q| mapping.physical(q)).collect();
+        if Self::heuristic(pairs, arch, &start) == 0 {
+            return Vec::new();
+        }
+
+        // Priority queue keyed by f = g + h; states identified by the
+        // program→physical assignment vector.
+        let mut open: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
+        let mut states: Vec<(Vec<NodeId>, Option<(usize, (NodeId, NodeId))>)> = Vec::new();
+        let mut best_g: HashMap<Vec<NodeId>, usize> = HashMap::new();
+
+        states.push((start.clone(), None));
+        best_g.insert(start.clone(), 0);
+        open.push(Reverse((Self::heuristic(pairs, arch, &start), 0, 0)));
+
+        let mut expansions = 0usize;
+        let mut best_fallback = (Self::heuristic(pairs, arch, &start), 0usize);
+
+        while let Some(Reverse((_, g, id))) = open.pop() {
+            let assignment = states[id].0.clone();
+            if best_g.get(&assignment).copied().unwrap_or(usize::MAX) < g {
+                continue; // stale entry
+            }
+            let h = Self::heuristic(pairs, arch, &assignment);
+            if h == 0 {
+                return Self::reconstruct(&states, id);
+            }
+            if h < best_fallback.0 {
+                best_fallback = (h, id);
+            }
+            expansions += 1;
+            if expansions > self.config.max_expansions_per_layer {
+                // Budget exhausted: finish the layer greedily from the most
+                // promising state seen so far.
+                let mut swaps = Self::reconstruct(&states, best_fallback.1);
+                let mut assignment = states[best_fallback.1].0.clone();
+                swaps.extend(Self::greedy_finish(pairs, arch, &mut assignment));
+                return swaps;
+            }
+
+            // Candidate SWAPs: couplers touching a physical qubit used by a
+            // still-unsatisfied pair.
+            let mut active = vec![false; arch.num_qubits()];
+            for &(a, b) in pairs {
+                if arch.distance(assignment[a], assignment[b]) > 1 {
+                    active[assignment[a]] = true;
+                    active[assignment[b]] = true;
+                }
+            }
+            for edge in arch.couplers() {
+                if !(active[edge.u] || active[edge.v]) {
+                    continue;
+                }
+                let mut next = assignment.clone();
+                for slot in next.iter_mut() {
+                    if *slot == edge.u {
+                        *slot = edge.v;
+                    } else if *slot == edge.v {
+                        *slot = edge.u;
+                    }
+                }
+                let next_g = g + 1;
+                if best_g.get(&next).copied().unwrap_or(usize::MAX) <= next_g {
+                    continue;
+                }
+                best_g.insert(next.clone(), next_g);
+                let next_id = states.len();
+                states.push((next.clone(), Some((id, (edge.u, edge.v)))));
+                open.push(Reverse((next_g + Self::heuristic(pairs, arch, &next), next_g, next_id)));
+            }
+        }
+
+        // Open set exhausted without a goal (cannot happen on a connected
+        // architecture, but stay safe): finish greedily from the start.
+        let mut assignment = start;
+        Self::greedy_finish(pairs, arch, &mut assignment)
+    }
+
+    /// Rebuilds the SWAP sequence leading to state `id`.
+    fn reconstruct(
+        states: &[(Vec<NodeId>, Option<(usize, (NodeId, NodeId))>)],
+        mut id: usize,
+    ) -> Vec<(NodeId, NodeId)> {
+        let mut swaps = Vec::new();
+        while let Some((parent, swap)) = states[id].1 {
+            swaps.push(swap);
+            id = parent;
+        }
+        swaps.reverse();
+        swaps
+    }
+
+    /// Moves each unsatisfied pair together along shortest paths.
+    fn greedy_finish(
+        pairs: &[(usize, usize)],
+        arch: &Architecture,
+        assignment: &mut [NodeId],
+    ) -> Vec<(NodeId, NodeId)> {
+        let mut swaps = Vec::new();
+        for &(a, b) in pairs {
+            while arch.distance(assignment[a], assignment[b]) > 1 {
+                let pa = assignment[a];
+                let pb = assignment[b];
+                let next = arch
+                    .neighbors(pa)
+                    .iter()
+                    .copied()
+                    .min_by_key(|&n| arch.distance(n, pb))
+                    .expect("connected architecture");
+                swaps.push((pa, next));
+                for slot in assignment.iter_mut() {
+                    if *slot == pa {
+                        *slot = next;
+                    } else if *slot == next {
+                        *slot = pa;
+                    }
+                }
+            }
+        }
+        swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_routing;
+    use qubikos_arch::devices;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_circuit(num_qubits: usize, gates: usize, seed: u64) -> Circuit {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut c = Circuit::new(num_qubits);
+        for _ in 0..gates {
+            let a = rng.gen_range(0..num_qubits);
+            let mut b = rng.gen_range(0..num_qubits);
+            while b == a {
+                b = rng.gen_range(0..num_qubits);
+            }
+            c.push(Gate::cx(a, b));
+        }
+        c
+    }
+
+    #[test]
+    fn routes_valid_circuits_on_grid() {
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(8, 30, 31);
+        let routed = AStarRouter::default().route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn routes_valid_circuits_on_aspen() {
+        let arch = devices::aspen4();
+        let circuit = random_circuit(12, 50, 5);
+        let routed = AStarRouter::default().route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn executable_circuit_needs_no_swaps() {
+        let arch = devices::line(5);
+        let circuit = Circuit::from_gates(5, [Gate::cx(0, 1), Gate::cx(2, 3), Gate::cx(3, 4)]);
+        let routed = AStarRouter::default().route(&circuit, &arch).expect("fits");
+        assert_eq!(routed.swap_count(), 0);
+    }
+
+    #[test]
+    fn tiny_expansion_budget_still_terminates() {
+        let config = AStarConfig {
+            seed: 0,
+            max_expansions_per_layer: 1,
+        };
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(9, 40, 7);
+        let routed = AStarRouter::new(config).route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn single_qubit_gates_survive() {
+        let arch = devices::line(3);
+        let circuit = Circuit::from_gates(3, [Gate::h(1), Gate::cx(0, 2), Gate::z(0)]);
+        let routed = AStarRouter::default().route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn rejects_oversized_circuit() {
+        let arch = devices::line(2);
+        assert!(matches!(
+            AStarRouter::default()
+                .route(&random_circuit(3, 5, 0), &arch)
+                .unwrap_err(),
+            RouteError::TooManyQubits { .. }
+        ));
+    }
+
+    #[test]
+    fn config_builder() {
+        assert_eq!(AStarConfig::default().with_seed(5).seed, 5);
+        assert_eq!(AStarRouter::default().name(), "qmap");
+    }
+}

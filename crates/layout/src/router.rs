@@ -1,0 +1,152 @@
+//! The [`Router`] trait and the tool registry used by the benchmark harness.
+
+use crate::result::RoutedCircuit;
+use qubikos_arch::Architecture;
+use qubikos_circuit::Circuit;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors a router can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The circuit uses more program qubits than the device has physical qubits.
+    TooManyQubits {
+        /// Program qubits required.
+        program: usize,
+        /// Physical qubits available.
+        physical: usize,
+    },
+    /// The router failed to make progress (e.g. its search budget was
+    /// exhausted before all gates were routed).
+    NoProgress {
+        /// Human-readable description of where the router got stuck.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::TooManyQubits { program, physical } => write!(
+                f,
+                "circuit needs {program} qubits but the device only has {physical}"
+            ),
+            RouteError::NoProgress { detail } => write!(f, "router made no progress: {detail}"),
+        }
+    }
+}
+
+impl Error for RouteError {}
+
+/// A quantum layout-synthesis tool: finds an initial mapping and inserts
+/// SWAPs so every two-qubit gate acts on coupled physical qubits.
+pub trait Router {
+    /// Routes `circuit` onto `arch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::TooManyQubits`] when the circuit does not fit the
+    /// device, or [`RouteError::NoProgress`] if the router's internal search
+    /// gives up.
+    fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError>;
+
+    /// Short stable tool name used in reports (e.g. `"lightsabre"`).
+    fn name(&self) -> &str;
+}
+
+/// The four tools evaluated in the paper, as an enumerable registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ToolKind {
+    /// SABRE / LightSABRE-style router ([`crate::SabreRouter`]).
+    LightSabre,
+    /// ML-QLS-style multilevel router ([`crate::MultilevelRouter`]).
+    MlQls,
+    /// QMAP-style per-layer A* router ([`crate::AStarRouter`]).
+    Qmap,
+    /// t|ket⟩-style greedy router ([`crate::TketRouter`]).
+    Tket,
+}
+
+impl ToolKind {
+    /// Every tool, in the order the paper reports them.
+    pub const ALL: [ToolKind; 4] = [
+        ToolKind::LightSabre,
+        ToolKind::MlQls,
+        ToolKind::Qmap,
+        ToolKind::Tket,
+    ];
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ToolKind::LightSabre => "lightsabre",
+            ToolKind::MlQls => "ml-qls",
+            ToolKind::Qmap => "qmap",
+            ToolKind::Tket => "tket",
+        }
+    }
+
+    /// Parses a tool name as accepted by the experiment harness CLIs.
+    pub fn parse(name: &str) -> Option<ToolKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "lightsabre" | "sabre" => Some(ToolKind::LightSabre),
+            "ml-qls" | "mlqls" | "multilevel" => Some(ToolKind::MlQls),
+            "qmap" | "astar" | "a*" => Some(ToolKind::Qmap),
+            "tket" | "t|ket>" => Some(ToolKind::Tket),
+            _ => None,
+        }
+    }
+
+    /// Builds the tool with its default configuration and the given seed.
+    pub fn build(self, seed: u64) -> Box<dyn Router + Send + Sync> {
+        match self {
+            ToolKind::LightSabre => Box::new(crate::SabreRouter::new(
+                crate::SabreConfig::default().with_seed(seed),
+            )),
+            ToolKind::MlQls => Box::new(crate::MultilevelRouter::new(
+                crate::MultilevelConfig::default().with_seed(seed),
+            )),
+            ToolKind::Qmap => Box::new(crate::AStarRouter::new(
+                crate::AStarConfig::default().with_seed(seed),
+            )),
+            ToolKind::Tket => Box::new(crate::TketRouter::new(
+                crate::TketConfig::default().with_seed(seed),
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ToolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tool_names_roundtrip() {
+        for tool in ToolKind::ALL {
+            assert_eq!(ToolKind::parse(tool.name()), Some(tool));
+            assert_eq!(tool.to_string(), tool.name());
+        }
+        assert_eq!(ToolKind::parse("SABRE"), Some(ToolKind::LightSabre));
+        assert_eq!(ToolKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn route_error_display() {
+        let err = RouteError::TooManyQubits {
+            program: 10,
+            physical: 5,
+        };
+        assert!(err.to_string().contains("10"));
+        let err = RouteError::NoProgress {
+            detail: "stuck".into(),
+        };
+        assert!(err.to_string().contains("stuck"));
+    }
+}

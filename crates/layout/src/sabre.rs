@@ -1,0 +1,663 @@
+//! SABRE / LightSABRE-style router.
+//!
+//! This is a from-scratch implementation of the SABRE routing loop (Li,
+//! Ding, Xie, ASPLOS 2019) with the LightSABRE refinements the paper's case
+//! study discusses: an extended-set lookahead of configurable size and
+//! weight, a decay term that discourages thrashing the same qubits, multiple
+//! random-restart trials with forward–backward–forward mapping passes, and a
+//! release valve that forces progress when the heuristic stalls.
+//!
+//! The §IV-C case study of the paper attributes a suboptimal LightSABRE
+//! choice to the *uniform* weighting of the extended set and suggests adding
+//! a decay factor to the lookahead cost; [`SabreConfig::lookahead_decay`]
+//! implements exactly that proposal so the ablation in the benchmark harness
+//! can reproduce the analysis.
+
+use crate::mapping::Mapping;
+use crate::placement::greedy_bfs_placement;
+use crate::result::RoutedCircuit;
+use crate::router::{RouteError, Router};
+use qubikos_arch::Architecture;
+use qubikos_circuit::{Circuit, DependencyDag, Gate};
+use qubikos_graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the SABRE-style router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SabreConfig {
+    /// Number of random-restart trials; the best (fewest-SWAP) result wins.
+    /// Qiskit's LightSABRE default is 1000 trials in the paper's experiments;
+    /// the default here is smaller to keep the full benchmark harness fast,
+    /// and the harness raises it for the headline runs.
+    pub trials: usize,
+    /// RNG seed for mapping restarts and tie-breaking.
+    pub seed: u64,
+    /// Number of look-ahead gates in the extended set (Qiskit default: 20).
+    pub extended_set_size: usize,
+    /// Weight of the extended-set term in the cost (Qiskit default: 0.5).
+    pub extended_set_weight: f64,
+    /// Additive decay applied to a qubit's decay factor each time it is
+    /// swapped; discourages repeatedly swapping the same pair.
+    pub decay_increment: f64,
+    /// Number of routing decisions after which decay factors reset.
+    pub decay_reset_interval: usize,
+    /// Optional decay applied across the extended set so that gates further
+    /// from the execution front weigh less: gate `i` of the extended set is
+    /// weighted `lookahead_decay^i`. `None` reproduces Qiskit's uniform
+    /// weighting; `Some(d)` with `d < 1` is the improvement suggested by the
+    /// paper's case study.
+    pub lookahead_decay: Option<f64>,
+    /// Number of consecutive SWAPs without executing any gate after which the
+    /// release valve forces the closest front gate to completion along a
+    /// shortest path.
+    pub release_valve_threshold: usize,
+    /// Number of forward/backward mapping-improvement passes per trial
+    /// (1 = forward only, 3 = the canonical forward–backward–forward SABRE).
+    pub mapping_passes: usize,
+}
+
+impl Default for SabreConfig {
+    fn default() -> Self {
+        SabreConfig {
+            trials: 16,
+            seed: 0,
+            extended_set_size: 20,
+            extended_set_weight: 0.5,
+            decay_increment: 0.001,
+            decay_reset_interval: 5,
+            lookahead_decay: None,
+            release_valve_threshold: 64,
+            mapping_passes: 3,
+        }
+    }
+}
+
+impl SabreConfig {
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different trial count.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Returns the config with the case-study lookahead decay enabled.
+    pub fn with_lookahead_decay(mut self, decay: f64) -> Self {
+        self.lookahead_decay = Some(decay);
+        self
+    }
+}
+
+/// SABRE / LightSABRE-style layout synthesis tool.
+#[derive(Debug, Clone, Default)]
+pub struct SabreRouter {
+    config: SabreConfig,
+}
+
+impl SabreRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: SabreConfig) -> Self {
+        SabreRouter { config }
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &SabreConfig {
+        &self.config
+    }
+
+    /// Routes `circuit` with a caller-supplied initial mapping, skipping the
+    /// mapping-search trials entirely. This is how standalone *routers* are
+    /// evaluated (paper §IV-C): QUBIKOS supplies the known-optimal initial
+    /// mapping and any excess SWAPs are attributable to routing alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::TooManyQubits`] if the circuit does not fit.
+    pub fn route_with_initial_mapping(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+        initial: &Mapping,
+    ) -> Result<RoutedCircuit, RouteError> {
+        check_fit(circuit, arch)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let pass = RoutingPass::new(circuit, arch, &self.config);
+        let (physical, final_mapping) = pass.run(initial.clone(), &mut rng);
+        Ok(RoutedCircuit {
+            physical_circuit: physical,
+            initial_mapping: initial.clone(),
+            final_mapping,
+            tool: self.name().to_string(),
+        })
+    }
+}
+
+impl Router for SabreRouter {
+    fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
+        check_fit(circuit, arch)?;
+        let config = &self.config;
+        let reversed = reversed_circuit(circuit);
+        let mut best: Option<RoutedCircuit> = None;
+
+        for trial in 0..config.trials.max(1) {
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(trial as u64));
+            // Trial 0 starts from the structure-aware greedy placement, the
+            // rest from random placements (the SABRE random-restart scheme).
+            let mut mapping = if trial == 0 {
+                greedy_bfs_placement(circuit, arch)
+            } else {
+                Mapping::random(circuit.num_qubits(), arch.num_qubits(), &mut rng)
+            };
+
+            // Forward/backward passes refine the initial mapping: the final
+            // mapping of each pass seeds the next pass on the reversed
+            // circuit, converging towards a mapping that suits both ends.
+            let passes = config.mapping_passes.max(1);
+            for p in 0..passes.saturating_sub(1) {
+                let source = if p % 2 == 0 { circuit } else { &reversed };
+                let pass = RoutingPass::new(source, arch, config);
+                let (_, final_mapping) = pass.run(mapping.clone(), &mut rng);
+                mapping = final_mapping;
+            }
+            // If an even number of refinement passes was run the mapping now
+            // describes the reversed circuit's start, which is exactly the
+            // forward circuit's best-known start as well.
+            let pass = RoutingPass::new(circuit, arch, config);
+            let (physical, final_mapping) = pass.run(mapping.clone(), &mut rng);
+            let candidate = RoutedCircuit {
+                physical_circuit: physical,
+                initial_mapping: mapping,
+                final_mapping,
+                tool: self.name().to_string(),
+            };
+            if best
+                .as_ref()
+                .map(|b| candidate.swap_count() < b.swap_count())
+                .unwrap_or(true)
+            {
+                best = Some(candidate);
+            }
+        }
+        Ok(best.expect("at least one trial ran"))
+    }
+
+    fn name(&self) -> &str {
+        "lightsabre"
+    }
+}
+
+fn check_fit(circuit: &Circuit, arch: &Architecture) -> Result<(), RouteError> {
+    if circuit.num_qubits() > arch.num_qubits() {
+        Err(RouteError::TooManyQubits {
+            program: circuit.num_qubits(),
+            physical: arch.num_qubits(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// The circuit with its gate order reversed (used by the backward mapping passes).
+fn reversed_circuit(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    gates.reverse();
+    Circuit::from_gates(circuit.num_qubits(), gates)
+}
+
+/// One SABRE routing pass over a fixed circuit with a fixed starting mapping.
+struct RoutingPass<'a> {
+    arch: &'a Architecture,
+    config: &'a SabreConfig,
+    dag: DependencyDag,
+    /// Single-qubit gates that must be emitted immediately before each DAG node.
+    attached: Vec<Vec<Gate>>,
+    /// Single-qubit gates after the last two-qubit gate on their qubit.
+    trailing: Vec<Gate>,
+}
+
+impl<'a> RoutingPass<'a> {
+    fn new(circuit: &'a Circuit, arch: &'a Architecture, config: &'a SabreConfig) -> Self {
+        let dag = DependencyDag::from_circuit(circuit);
+        let (attached, trailing) = attach_single_qubit_gates(circuit, &dag);
+        RoutingPass {
+            arch,
+            config,
+            dag,
+            attached,
+            trailing,
+        }
+    }
+
+    /// Runs the pass, returning the physical circuit and the final mapping.
+    fn run(&self, mut mapping: Mapping, rng: &mut ChaCha8Rng) -> (Circuit, Mapping) {
+        let dag = &self.dag;
+        let mut out = Circuit::new(self.arch.num_qubits());
+        let mut remaining_preds: Vec<usize> =
+            (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+        let mut front: Vec<usize> = dag.front_layer();
+        let mut decay = vec![1.0f64; self.arch.num_qubits()];
+        let mut decisions_since_reset = 0usize;
+        let mut swaps_since_progress = 0usize;
+
+        while !front.is_empty() {
+            // Execute every front gate whose qubits are adjacent.
+            let mut executed_any = false;
+            let mut next_front = Vec::with_capacity(front.len());
+            for &node in &front {
+                let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
+                let (pa, pb) = (mapping.physical(a), mapping.physical(b));
+                if self.arch.are_coupled(pa, pb) {
+                    self.emit_gate(node, &mapping, &mut out);
+                    executed_any = true;
+                    for &s in dag.successors(node) {
+                        remaining_preds[s] -= 1;
+                        if remaining_preds[s] == 0 {
+                            next_front.push(s);
+                        }
+                    }
+                } else {
+                    next_front.push(node);
+                }
+            }
+            front = next_front;
+            if executed_any {
+                swaps_since_progress = 0;
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                decisions_since_reset = 0;
+                continue;
+            }
+            if front.is_empty() {
+                break;
+            }
+
+            // Release valve: force the closest front gate through if the
+            // heuristic has been spinning without progress.
+            if swaps_since_progress >= self.config.release_valve_threshold {
+                self.force_closest_gate(&front, &mut mapping, &mut out);
+                swaps_since_progress = 0;
+                continue;
+            }
+
+            // Score candidate SWAPs and apply the best one.
+            let extended = self.extended_set(&front, &remaining_preds);
+            let candidates = self.candidate_swaps(&front, &mapping);
+            let chosen = self.pick_swap(&candidates, &front, &extended, &mapping, &decay, rng);
+            out.push(Gate::swap(chosen.0, chosen.1));
+            mapping.apply_swap_physical(chosen.0, chosen.1);
+            decay[chosen.0] += self.config.decay_increment;
+            decay[chosen.1] += self.config.decay_increment;
+            decisions_since_reset += 1;
+            swaps_since_progress += 1;
+            if decisions_since_reset >= self.config.decay_reset_interval {
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                decisions_since_reset = 0;
+            }
+        }
+
+        // Emit trailing single-qubit gates under the final mapping.
+        for gate in &self.trailing {
+            out.push(gate.map_qubits(|q| mapping.physical(q)));
+        }
+        (out, mapping)
+    }
+
+    /// Emits a DAG node's attached single-qubit gates followed by the
+    /// two-qubit gate itself, all translated to physical qubits.
+    fn emit_gate(&self, node: usize, mapping: &Mapping, out: &mut Circuit) {
+        for gate in &self.attached[node] {
+            out.push(gate.map_qubits(|q| mapping.physical(q)));
+        }
+        let gate = self.dag.gate(node);
+        out.push(gate.map_qubits(|q| mapping.physical(q)));
+    }
+
+    /// Collects up to `extended_set_size` gates reachable from the front
+    /// layer, in BFS order over the DAG (the LightSABRE extended set).
+    fn extended_set(&self, front: &[usize], remaining_preds: &[usize]) -> Vec<usize> {
+        let limit = self.config.extended_set_size;
+        let mut extended = Vec::with_capacity(limit);
+        if limit == 0 {
+            return extended;
+        }
+        let mut preds = remaining_preds.to_vec();
+        let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
+        let mut seen = vec![false; self.dag.len()];
+        for &f in front {
+            seen[f] = true;
+        }
+        while let Some(node) = queue.pop_front() {
+            for &s in self.dag.successors(node) {
+                preds[s] = preds[s].saturating_sub(1);
+                if !seen[s] && preds[s] == 0 {
+                    seen[s] = true;
+                    extended.push(s);
+                    if extended.len() >= limit {
+                        return extended;
+                    }
+                    queue.push_back(s);
+                }
+            }
+        }
+        extended
+    }
+
+    /// Candidate SWAPs: coupler edges incident to a physical qubit that
+    /// currently hosts a qubit of some front-layer gate.
+    fn candidate_swaps(&self, front: &[usize], mapping: &Mapping) -> Vec<(NodeId, NodeId)> {
+        let mut active = vec![false; self.arch.num_qubits()];
+        for &node in front {
+            let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
+            active[mapping.physical(a)] = true;
+            active[mapping.physical(b)] = true;
+        }
+        let mut candidates = Vec::new();
+        for edge in self.arch.couplers() {
+            if active[edge.u] || active[edge.v] {
+                candidates.push((edge.u, edge.v));
+            }
+        }
+        candidates
+    }
+
+    /// Scores every candidate SWAP and returns the cheapest (ties broken at random).
+    fn pick_swap(
+        &self,
+        candidates: &[(NodeId, NodeId)],
+        front: &[usize],
+        extended: &[usize],
+        mapping: &Mapping,
+        decay: &[f64],
+        rng: &mut ChaCha8Rng,
+    ) -> (NodeId, NodeId) {
+        debug_assert!(!candidates.is_empty(), "front gates always have candidate swaps");
+        let mut best_score = f64::INFINITY;
+        let mut best: Vec<(NodeId, NodeId)> = Vec::new();
+        for &(pa, pb) in candidates {
+            let score = self.swap_score((pa, pb), front, extended, mapping, decay);
+            if score < best_score - 1e-12 {
+                best_score = score;
+                best.clear();
+                best.push((pa, pb));
+            } else if (score - best_score).abs() <= 1e-12 {
+                best.push((pa, pb));
+            }
+        }
+        *best.choose(rng).expect("non-empty candidate set")
+    }
+
+    /// The LightSABRE cost of applying one SWAP: basic front-layer distance
+    /// plus weighted extended-set distance, scaled by the decay factors of
+    /// the swapped qubits.
+    fn swap_score(
+        &self,
+        swap: (NodeId, NodeId),
+        front: &[usize],
+        extended: &[usize],
+        mapping: &Mapping,
+        decay: &[f64],
+    ) -> f64 {
+        let resolve = |p: NodeId| -> NodeId {
+            if p == swap.0 {
+                swap.1
+            } else if p == swap.1 {
+                swap.0
+            } else {
+                p
+            }
+        };
+        let gate_distance = |node: usize| -> f64 {
+            let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
+            let pa = resolve(mapping.physical(a));
+            let pb = resolve(mapping.physical(b));
+            self.arch.distance(pa, pb) as f64
+        };
+
+        let basic: f64 = front.iter().map(|&n| gate_distance(n)).sum::<f64>() / front.len() as f64;
+        let lookahead = if extended.is_empty() {
+            0.0
+        } else {
+            let (sum, weight_sum) = extended.iter().enumerate().fold(
+                (0.0f64, 0.0f64),
+                |(sum, weights), (i, &n)| {
+                    let w = match self.config.lookahead_decay {
+                        Some(d) => d.powi(i as i32),
+                        None => 1.0,
+                    };
+                    (sum + w * gate_distance(n), weights + w)
+                },
+            );
+            self.config.extended_set_weight * sum / weight_sum
+        };
+        let decay_factor = decay[swap.0].max(decay[swap.1]);
+        decay_factor * (basic + lookahead)
+    }
+
+    /// Forces the front gate whose qubits are closest together to execute by
+    /// swapping one qubit along a shortest path towards the other.
+    fn force_closest_gate(&self, front: &[usize], mapping: &mut Mapping, out: &mut Circuit) {
+        let &node = front
+            .iter()
+            .min_by_key(|&&n| {
+                let (a, b) = self.dag.gate(n).qubit_pair().expect("two-qubit gate");
+                self.arch.distance(mapping.physical(a), mapping.physical(b))
+            })
+            .expect("front is non-empty");
+        let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
+        // Walk a shortest path from a's location towards b's location,
+        // swapping a forward until the two are adjacent.
+        loop {
+            let pa = mapping.physical(a);
+            let pb = mapping.physical(b);
+            if self.arch.are_coupled(pa, pb) {
+                break;
+            }
+            let next = self
+                .arch
+                .neighbors(pa)
+                .iter()
+                .copied()
+                .min_by_key(|&n| self.arch.distance(n, pb))
+                .expect("connected architecture");
+            out.push(Gate::swap(pa, next));
+            mapping.apply_swap_physical(pa, next);
+        }
+        // The gate itself executes on the next main-loop iteration.
+    }
+}
+
+/// Shared helper for the other routers in this crate: see
+/// [`attach_single_qubit_gates`].
+pub(crate) fn attach_for_router(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+) -> (Vec<Vec<Gate>>, Vec<Gate>) {
+    attach_single_qubit_gates(circuit, dag)
+}
+
+/// Associates every single-qubit gate with the two-qubit DAG node it must
+/// precede (the next two-qubit gate on its qubit); gates after the last
+/// two-qubit gate on their qubit are returned separately as trailing gates.
+fn attach_single_qubit_gates(circuit: &Circuit, dag: &DependencyDag) -> (Vec<Vec<Gate>>, Vec<Gate>) {
+    let mut attached = vec![Vec::new(); dag.len()];
+    let mut trailing = Vec::new();
+    // Map circuit index of each two-qubit gate to its DAG node.
+    let mut node_of_circuit_index = std::collections::HashMap::new();
+    for node in 0..dag.len() {
+        node_of_circuit_index.insert(dag.circuit_index(node), node);
+    }
+    // For each qubit, the circuit indices of its two-qubit gates in order.
+    let mut pending: Vec<Gate> = Vec::new();
+    for (ci, gate) in circuit.iter() {
+        if gate.is_two_qubit() {
+            let node = node_of_circuit_index[&ci];
+            // Attach any pending single-qubit gates that act on this gate's qubits.
+            let (a, b) = gate.qubit_pair().expect("two-qubit gate");
+            let mut still_pending = Vec::new();
+            for g in pending.drain(..) {
+                if g.acts_on(a) || g.acts_on(b) {
+                    attached[node].push(g);
+                } else {
+                    still_pending.push(g);
+                }
+            }
+            pending = still_pending;
+        } else {
+            pending.push(*gate);
+        }
+    }
+    trailing.extend(pending);
+    (attached, trailing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_routing;
+    use qubikos_arch::devices;
+    use rand::Rng;
+
+    fn random_circuit(num_qubits: usize, gates: usize, seed: u64) -> Circuit {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut c = Circuit::new(num_qubits);
+        for _ in 0..gates {
+            let a = rng.gen_range(0..num_qubits);
+            let mut b = rng.gen_range(0..num_qubits);
+            while b == a {
+                b = rng.gen_range(0..num_qubits);
+            }
+            c.push(Gate::cx(a, b));
+        }
+        c
+    }
+
+    #[test]
+    fn routes_trivially_executable_circuit_without_swaps() {
+        let arch = devices::line(4);
+        let circuit = Circuit::from_gates(4, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(2, 3)]);
+        let router = SabreRouter::new(SabreConfig::default().with_trials(4));
+        let routed = router.route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+        assert_eq!(routed.swap_count(), 0);
+    }
+
+    #[test]
+    fn routes_random_circuit_on_grid_validly() {
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(8, 40, 11);
+        let router = SabreRouter::new(SabreConfig::default().with_trials(4));
+        let routed = router.route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn routes_on_sparse_heavy_hex() {
+        let arch = devices::rochester53();
+        let circuit = random_circuit(20, 60, 3);
+        let router = SabreRouter::new(SabreConfig::default().with_trials(2));
+        let routed = router.route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn preserves_single_qubit_gates() {
+        let arch = devices::line(3);
+        let circuit = Circuit::from_gates(
+            3,
+            [
+                Gate::h(0),
+                Gate::cx(0, 2),
+                Gate::t(2),
+                Gate::cx(0, 1),
+                Gate::z(1),
+            ],
+        );
+        let router = SabreRouter::new(SabreConfig::default().with_trials(4));
+        let routed = router.route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+        let ones = routed
+            .physical_circuit
+            .gates()
+            .iter()
+            .filter(|g| !g.is_two_qubit())
+            .count();
+        assert_eq!(ones, 3, "all single-qubit gates must be re-emitted");
+    }
+
+    #[test]
+    fn rejects_oversized_circuit() {
+        let arch = devices::line(3);
+        let circuit = random_circuit(5, 10, 0);
+        let err = SabreRouter::default().route(&circuit, &arch).unwrap_err();
+        assert!(matches!(err, RouteError::TooManyQubits { .. }));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(7, 30, 5);
+        let router = SabreRouter::new(SabreConfig::default().with_trials(3).with_seed(9));
+        let a = router.route(&circuit, &arch).expect("fits");
+        let b = router.route(&circuit, &arch).expect("fits");
+        assert_eq!(a.physical_circuit, b.physical_circuit);
+        assert_eq!(a.initial_mapping, b.initial_mapping);
+    }
+
+    #[test]
+    fn more_trials_never_hurt() {
+        let arch = devices::grid(4, 4);
+        let circuit = random_circuit(12, 60, 21);
+        let few = SabreRouter::new(SabreConfig::default().with_trials(1).with_seed(1))
+            .route(&circuit, &arch)
+            .expect("fits");
+        let many = SabreRouter::new(SabreConfig::default().with_trials(12).with_seed(1))
+            .route(&circuit, &arch)
+            .expect("fits");
+        assert!(many.swap_count() <= few.swap_count());
+    }
+
+    #[test]
+    fn route_with_initial_mapping_keeps_the_mapping() {
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(6, 20, 2);
+        let initial = Mapping::from_prog_to_phys(vec![0, 1, 2, 3, 4, 5], 9);
+        let router = SabreRouter::default();
+        let routed = router
+            .route_with_initial_mapping(&circuit, &arch, &initial)
+            .expect("fits");
+        assert_eq!(routed.initial_mapping, initial);
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn lookahead_decay_config_builder() {
+        let config = SabreConfig::default().with_lookahead_decay(0.8);
+        assert_eq!(config.lookahead_decay, Some(0.8));
+        let router = SabreRouter::new(config);
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(7, 30, 8);
+        let routed = router.route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn zero_extended_set_still_routes() {
+        let mut config = SabreConfig::default().with_trials(2);
+        config.extended_set_size = 0;
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(8, 25, 13);
+        let routed = SabreRouter::new(config).route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn tool_name_is_stable() {
+        assert_eq!(SabreRouter::default().name(), "lightsabre");
+    }
+}

@@ -1,0 +1,279 @@
+//! A t|ket⟩-style greedy distance-directed router.
+//!
+//! The routing pass follows the spirit of the published t|ket⟩ qubit-routing
+//! approach: a structure-aware initial placement followed by a greedy loop
+//! that repeatedly applies the SWAP which most reduces the summed distance of
+//! the currently blocked gates, with no decay term, no extended-set
+//! lookahead beyond the current front, and no random restarts. Its results
+//! are valid but markedly less efficient than the SABRE family on large
+//! devices, which is the qualitative behaviour the paper reports for t|ket⟩.
+
+use crate::mapping::Mapping;
+use crate::placement::greedy_bfs_placement;
+use crate::result::RoutedCircuit;
+use crate::router::{RouteError, Router};
+use qubikos_arch::Architecture;
+use qubikos_circuit::{Circuit, DependencyDag, Gate};
+use qubikos_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the t|ket⟩-style router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TketConfig {
+    /// RNG seed (reserved for placement randomisation; the routing loop is
+    /// deterministic).
+    pub seed: u64,
+    /// Number of greedy SWAPs without progress after which the router falls
+    /// back to routing the closest blocked gate along a shortest path.
+    pub stall_threshold: usize,
+}
+
+impl Default for TketConfig {
+    fn default() -> Self {
+        TketConfig {
+            seed: 0,
+            stall_threshold: 16,
+        }
+    }
+}
+
+impl TketConfig {
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Greedy distance-directed router in the spirit of t|ket⟩.
+#[derive(Debug, Clone, Default)]
+pub struct TketRouter {
+    config: TketConfig,
+}
+
+impl TketRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: TketConfig) -> Self {
+        TketRouter { config }
+    }
+}
+
+impl Router for TketRouter {
+    fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
+        if circuit.num_qubits() > arch.num_qubits() {
+            return Err(RouteError::TooManyQubits {
+                program: circuit.num_qubits(),
+                physical: arch.num_qubits(),
+            });
+        }
+        let initial = greedy_bfs_placement(circuit, arch);
+        let mut mapping = initial.clone();
+        let dag = DependencyDag::from_circuit(circuit);
+        let mut remaining_preds: Vec<usize> =
+            (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+        let mut front = dag.front_layer();
+        let mut out = Circuit::new(arch.num_qubits());
+        let mut stall = 0usize;
+
+        // Single-qubit gates are re-attached exactly as in the SABRE pass.
+        let (attached, trailing) = super::sabre::attach_for_router(circuit, &dag);
+
+        while !front.is_empty() {
+            let mut executed_any = false;
+            let mut next_front = Vec::with_capacity(front.len());
+            for &node in &front {
+                let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
+                if arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
+                    for g in &attached[node] {
+                        out.push(g.map_qubits(|q| mapping.physical(q)));
+                    }
+                    out.push(dag.gate(node).map_qubits(|q| mapping.physical(q)));
+                    executed_any = true;
+                    for &s in dag.successors(node) {
+                        remaining_preds[s] -= 1;
+                        if remaining_preds[s] == 0 {
+                            next_front.push(s);
+                        }
+                    }
+                } else {
+                    next_front.push(node);
+                }
+            }
+            front = next_front;
+            if executed_any {
+                stall = 0;
+                continue;
+            }
+            if front.is_empty() {
+                break;
+            }
+
+            if stall >= self.config.stall_threshold {
+                // Fallback: walk the closest blocked gate together along a
+                // shortest path.
+                let &node = front
+                    .iter()
+                    .min_by_key(|&&n| {
+                        let (a, b) = dag.gate(n).qubit_pair().expect("two-qubit gate");
+                        arch.distance(mapping.physical(a), mapping.physical(b))
+                    })
+                    .expect("front is non-empty");
+                let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
+                while !arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
+                    let pa = mapping.physical(a);
+                    let pb = mapping.physical(b);
+                    let next = arch
+                        .neighbors(pa)
+                        .iter()
+                        .copied()
+                        .min_by_key(|&n| arch.distance(n, pb))
+                        .expect("connected architecture");
+                    out.push(Gate::swap(pa, next));
+                    mapping.apply_swap_physical(pa, next);
+                }
+                stall = 0;
+                continue;
+            }
+
+            // Greedy step: the SWAP minimising the summed front distance.
+            let (pa, pb) = self.best_swap(&front, &dag, arch, &mapping);
+            out.push(Gate::swap(pa, pb));
+            mapping.apply_swap_physical(pa, pb);
+            stall += 1;
+        }
+
+        for gate in &trailing {
+            out.push(gate.map_qubits(|q| mapping.physical(q)));
+        }
+
+        Ok(RoutedCircuit {
+            physical_circuit: out,
+            initial_mapping: initial,
+            final_mapping: mapping,
+            tool: self.name().to_string(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "tket"
+    }
+}
+
+impl TketRouter {
+    fn best_swap(
+        &self,
+        front: &[usize],
+        dag: &DependencyDag,
+        arch: &Architecture,
+        mapping: &Mapping,
+    ) -> (NodeId, NodeId) {
+        let mut active = vec![false; arch.num_qubits()];
+        for &node in front {
+            let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
+            active[mapping.physical(a)] = true;
+            active[mapping.physical(b)] = true;
+        }
+        let score = |swap: (NodeId, NodeId)| -> usize {
+            front
+                .iter()
+                .map(|&node| {
+                    let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
+                    let resolve = |p: NodeId| {
+                        if p == swap.0 {
+                            swap.1
+                        } else if p == swap.1 {
+                            swap.0
+                        } else {
+                            p
+                        }
+                    };
+                    arch.distance(resolve(mapping.physical(a)), resolve(mapping.physical(b)))
+                })
+                .sum()
+        };
+        arch.couplers()
+            .filter(|e| active[e.u] || active[e.v])
+            .map(|e| (e.u, e.v))
+            .min_by_key(|&swap| score(swap))
+            .expect("blocked front gates always have incident couplers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_routing;
+    use qubikos_arch::devices;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_circuit(num_qubits: usize, gates: usize, seed: u64) -> Circuit {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut c = Circuit::new(num_qubits);
+        for _ in 0..gates {
+            let a = rng.gen_range(0..num_qubits);
+            let mut b = rng.gen_range(0..num_qubits);
+            while b == a {
+                b = rng.gen_range(0..num_qubits);
+            }
+            c.push(Gate::cx(a, b));
+        }
+        c
+    }
+
+    #[test]
+    fn routes_valid_circuits_on_grid() {
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(8, 40, 17);
+        let routed = TketRouter::default().route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn routes_valid_circuits_on_aspen() {
+        let arch = devices::aspen4();
+        let circuit = random_circuit(16, 80, 23);
+        let routed = TketRouter::default().route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+    }
+
+    #[test]
+    fn executable_circuit_needs_no_swaps() {
+        let arch = devices::line(4);
+        let circuit = Circuit::from_gates(4, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(2, 3)]);
+        let routed = TketRouter::default().route(&circuit, &arch).expect("fits");
+        assert_eq!(routed.swap_count(), 0);
+    }
+
+    #[test]
+    fn preserves_single_qubit_gates() {
+        let arch = devices::line(3);
+        let circuit = Circuit::from_gates(3, [Gate::h(0), Gate::cx(0, 2), Gate::t(0), Gate::x(2)]);
+        let routed = TketRouter::default().route(&circuit, &arch).expect("fits");
+        validate_routing(&circuit, &arch, &routed).expect("valid");
+        let ones = routed
+            .physical_circuit
+            .gates()
+            .iter()
+            .filter(|g| !g.is_two_qubit())
+            .count();
+        assert_eq!(ones, 3);
+    }
+
+    #[test]
+    fn rejects_oversized_circuit() {
+        let arch = devices::line(2);
+        let circuit = random_circuit(4, 10, 0);
+        assert!(matches!(
+            TketRouter::default().route(&circuit, &arch).unwrap_err(),
+            RouteError::TooManyQubits { .. }
+        ));
+    }
+
+    #[test]
+    fn config_builder() {
+        let config = TketConfig::default().with_seed(7);
+        assert_eq!(config.seed, 7);
+        assert_eq!(TketRouter::new(config).name(), "tket");
+    }
+}

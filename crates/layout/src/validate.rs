@@ -1,0 +1,306 @@
+//! Validation of routing results.
+//!
+//! A routed circuit is accepted when (1) every two-qubit gate acts on coupled
+//! physical qubits, and (2) after translating each non-SWAP gate back to
+//! program qubits through the evolving mapping, the result executes exactly
+//! the original circuit's two-qubit gates in an order consistent with its
+//! dependency DAG. Single-qubit gates never constrain layout synthesis, so
+//! they are ignored on both sides.
+
+use crate::result::RoutedCircuit;
+use qubikos_arch::Architecture;
+use qubikos_circuit::{Circuit, DependencyDag, Gate, TwoQubitKind};
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a routed circuit can be rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The initial mapping does not fit the circuit/architecture sizes.
+    MappingShape {
+        /// Explanation of the size mismatch.
+        detail: String,
+    },
+    /// A two-qubit gate acts on physical qubits that are not coupled.
+    Uncoupled {
+        /// Index of the offending gate in the physical circuit.
+        gate_index: usize,
+        /// The gate itself.
+        gate: Gate,
+    },
+    /// A gate operates on a physical qubit that holds no program qubit.
+    UnmappedQubit {
+        /// Index of the offending gate in the physical circuit.
+        gate_index: usize,
+    },
+    /// A translated gate does not correspond to any ready gate of the
+    /// original circuit.
+    UnexpectedGate {
+        /// Index of the offending gate in the physical circuit.
+        gate_index: usize,
+        /// The program-qubit pair the physical gate translates to.
+        program_pair: (usize, usize),
+    },
+    /// The physical circuit ended before all original gates were executed.
+    MissingGates {
+        /// How many original two-qubit gates were never executed.
+        remaining: usize,
+    },
+    /// The recorded final mapping does not match the replayed permutation.
+    FinalMappingMismatch,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::MappingShape { detail } => write!(f, "mapping shape invalid: {detail}"),
+            ValidationError::Uncoupled { gate_index, gate } => {
+                write!(f, "gate #{gate_index} ({gate}) acts on uncoupled physical qubits")
+            }
+            ValidationError::UnmappedQubit { gate_index } => {
+                write!(f, "gate #{gate_index} acts on a physical qubit holding no program qubit")
+            }
+            ValidationError::UnexpectedGate {
+                gate_index,
+                program_pair,
+            } => write!(
+                f,
+                "gate #{gate_index} maps to program pair ({}, {}) which is not ready in the original circuit",
+                program_pair.0, program_pair.1
+            ),
+            ValidationError::MissingGates { remaining } => {
+                write!(f, "{remaining} original two-qubit gates were never executed")
+            }
+            ValidationError::FinalMappingMismatch => {
+                write!(f, "recorded final mapping does not match the replayed SWAP permutation")
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Checks that `routed` is a legal implementation of `original` on `arch`.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] encountered while replaying the
+/// physical circuit.
+pub fn validate_routing(
+    original: &Circuit,
+    arch: &Architecture,
+    routed: &RoutedCircuit,
+) -> Result<(), ValidationError> {
+    let mapping = &routed.initial_mapping;
+    if mapping.num_program() != original.num_qubits() {
+        return Err(ValidationError::MappingShape {
+            detail: format!(
+                "mapping covers {} program qubits but the circuit has {}",
+                mapping.num_program(),
+                original.num_qubits()
+            ),
+        });
+    }
+    if mapping.num_physical() != arch.num_qubits() {
+        return Err(ValidationError::MappingShape {
+            detail: format!(
+                "mapping covers {} physical qubits but the device has {}",
+                mapping.num_physical(),
+                arch.num_qubits()
+            ),
+        });
+    }
+
+    let dag = DependencyDag::from_circuit(original);
+    let mut executed = vec![false; dag.len()];
+    let mut remaining_preds: Vec<usize> = (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+    let mut executed_count = 0usize;
+    let mut current = mapping.clone();
+
+    for (gate_index, gate) in routed.physical_circuit.iter() {
+        let Some((pa, pb)) = gate.qubit_pair() else {
+            continue; // single-qubit gates are unconstrained
+        };
+        if !arch.are_coupled(pa, pb) {
+            return Err(ValidationError::Uncoupled {
+                gate_index,
+                gate: *gate,
+            });
+        }
+        if gate.is_swap() {
+            current.apply_swap_physical(pa, pb);
+            continue;
+        }
+        let (Some(qa), Some(qb)) = (current.logical(pa), current.logical(pb)) else {
+            return Err(ValidationError::UnmappedQubit { gate_index });
+        };
+        // Find a ready original gate on exactly this program-qubit pair.
+        let matched = (0..dag.len()).find(|&i| {
+            if executed[i] || remaining_preds[i] != 0 {
+                return false;
+            }
+            let g = dag.gate(i);
+            let (a, b) = g.qubit_pair().expect("dag holds two-qubit gates");
+            match g {
+                Gate::Two {
+                    kind: TwoQubitKind::Cx,
+                    ..
+                } => (a, b) == (qa, qb),
+                _ => (a, b) == (qa, qb) || (a, b) == (qb, qa),
+            }
+        });
+        let Some(node) = matched else {
+            return Err(ValidationError::UnexpectedGate {
+                gate_index,
+                program_pair: (qa, qb),
+            });
+        };
+        executed[node] = true;
+        executed_count += 1;
+        for &s in dag.successors(node) {
+            remaining_preds[s] -= 1;
+        }
+    }
+
+    if executed_count != dag.len() {
+        return Err(ValidationError::MissingGates {
+            remaining: dag.len() - executed_count,
+        });
+    }
+    if &current != &routed.final_mapping {
+        return Err(ValidationError::FinalMappingMismatch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+    use qubikos_arch::devices;
+
+    /// Hand-build the paper's Figure 1 example: a 3-qubit circuit on a
+    /// 4-qubit line, routed with a single SWAP.
+    fn figure1_example() -> (Circuit, qubikos_arch::Architecture, RoutedCircuit) {
+        let arch = devices::line(4);
+        // g3 = CX(q1,q0), g4 = CX(q1,q2), g5 = CX(q0,q2)
+        let original = Circuit::from_gates(3, [Gate::cx(1, 0), Gate::cx(1, 2), Gate::cx(0, 2)]);
+        // Mapping q0→p0, q1→p1, q2→p2; SWAP(p0,p1) lets CX(q0,q2) run on (p1,p2).
+        let physical = Circuit::from_gates(
+            4,
+            [
+                Gate::cx(1, 0),
+                Gate::cx(1, 2),
+                Gate::swap(0, 1),
+                Gate::cx(1, 2),
+            ],
+        );
+        let initial = Mapping::from_prog_to_phys(vec![0, 1, 2], 4);
+        let mut fin = initial.clone();
+        fin.apply_swap_physical(0, 1);
+        let routed = RoutedCircuit {
+            physical_circuit: physical,
+            initial_mapping: initial,
+            final_mapping: fin,
+            tool: "manual".into(),
+        };
+        (original, arch, routed)
+    }
+
+    #[test]
+    fn accepts_figure1_routing() {
+        let (original, arch, routed) = figure1_example();
+        validate_routing(&original, &arch, &routed).expect("valid routing");
+        assert_eq!(routed.swap_count(), 1);
+    }
+
+    #[test]
+    fn rejects_uncoupled_gate() {
+        let (original, arch, mut routed) = figure1_example();
+        routed.physical_circuit = Circuit::from_gates(4, [Gate::cx(0, 3)]);
+        let err = validate_routing(&original, &arch, &routed).unwrap_err();
+        assert!(matches!(err, ValidationError::Uncoupled { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_gates() {
+        let (original, arch, mut routed) = figure1_example();
+        routed.physical_circuit = Circuit::from_gates(4, [Gate::cx(1, 0)]);
+        let err = validate_routing(&original, &arch, &routed).unwrap_err();
+        assert!(matches!(err, ValidationError::MissingGates { remaining: 2 }));
+    }
+
+    #[test]
+    fn rejects_wrong_order() {
+        let (original, arch, mut routed) = figure1_example();
+        // Execute CX(q0,q2) first (as physical (0,1) won't map right): use a
+        // physical gate that translates to a not-ready program pair.
+        routed.physical_circuit = Circuit::from_gates(4, [Gate::cx(1, 2)]);
+        let err = validate_routing(&original, &arch, &routed).unwrap_err();
+        assert!(matches!(err, ValidationError::UnexpectedGate { .. }));
+    }
+
+    #[test]
+    fn rejects_cx_with_reversed_control_target() {
+        let arch = devices::line(2);
+        let original = Circuit::from_gates(2, [Gate::cx(0, 1)]);
+        let routed = RoutedCircuit {
+            physical_circuit: Circuit::from_gates(2, [Gate::cx(1, 0)]),
+            initial_mapping: Mapping::identity(2, 2),
+            final_mapping: Mapping::identity(2, 2),
+            tool: "manual".into(),
+        };
+        let err = validate_routing(&original, &arch, &routed).unwrap_err();
+        assert!(matches!(err, ValidationError::UnexpectedGate { .. }));
+    }
+
+    #[test]
+    fn accepts_symmetric_cz_in_either_orientation() {
+        let arch = devices::line(2);
+        let original = Circuit::from_gates(2, [Gate::cz(0, 1)]);
+        let routed = RoutedCircuit {
+            physical_circuit: Circuit::from_gates(2, [Gate::cz(1, 0)]),
+            initial_mapping: Mapping::identity(2, 2),
+            final_mapping: Mapping::identity(2, 2),
+            tool: "manual".into(),
+        };
+        validate_routing(&original, &arch, &routed).expect("cz is symmetric");
+    }
+
+    #[test]
+    fn rejects_final_mapping_mismatch() {
+        let (original, arch, mut routed) = figure1_example();
+        routed.final_mapping = routed.initial_mapping.clone();
+        let err = validate_routing(&original, &arch, &routed).unwrap_err();
+        assert_eq!(err, ValidationError::FinalMappingMismatch);
+    }
+
+    #[test]
+    fn rejects_bad_mapping_shapes() {
+        let (original, arch, mut routed) = figure1_example();
+        routed.initial_mapping = Mapping::identity(2, 4);
+        assert!(matches!(
+            validate_routing(&original, &arch, &routed).unwrap_err(),
+            ValidationError::MappingShape { .. }
+        ));
+        let (original, arch, mut routed) = figure1_example();
+        routed.initial_mapping = Mapping::identity(3, 7);
+        assert!(matches!(
+            validate_routing(&original, &arch, &routed).unwrap_err(),
+            ValidationError::MappingShape { .. }
+        ));
+        let _ = arch;
+        let _ = original;
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = ValidationError::MissingGates { remaining: 4 };
+        assert!(err.to_string().contains('4'));
+        let err = ValidationError::UnexpectedGate {
+            gate_index: 2,
+            program_pair: (1, 3),
+        };
+        assert!(err.to_string().contains("(1, 3)"));
+    }
+}

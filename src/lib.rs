@@ -1,0 +1,21 @@
+//! Umbrella crate for the QUBIKOS benchmark suite workspace.
+//!
+//! This crate only re-exports the member crates so that the workspace-level
+//! examples and integration tests under `examples/` and `tests/` can access
+//! the entire public API through a single dependency.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`qubikos_graph`] — graph substrate (VF2, BFS, distances, generators)
+//! * [`qubikos_circuit`] — quantum circuit IR (gates, dependency DAG, QASM)
+//! * [`qubikos_arch`] — device coupling graphs (Aspen-4, Sycamore, Rochester, Eagle, …)
+//! * [`qubikos_layout`] — heuristic layout-synthesis tools under evaluation
+//! * [`qubikos_exact`] — exact minimal-SWAP solver (OLSQ2 substitute)
+//! * [`qubikos`] — the QUBIKOS benchmark generator itself
+
+pub use qubikos;
+pub use qubikos_arch;
+pub use qubikos_circuit;
+pub use qubikos_exact;
+pub use qubikos_graph;
+pub use qubikos_layout;
