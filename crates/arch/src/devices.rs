@@ -107,7 +107,10 @@ pub fn line(n: usize) -> Architecture {
 ///
 /// Panics if the grid would have fewer than 2 qubits.
 pub fn grid(rows: usize, cols: usize) -> Architecture {
-    assert!(rows * cols >= 2, "grid architecture needs at least 2 qubits");
+    assert!(
+        rows * cols >= 2,
+        "grid architecture needs at least 2 qubits"
+    );
     Architecture::new(
         format!("grid-{rows}x{cols}"),
         generators::grid_graph(rows, cols),
@@ -339,7 +342,11 @@ mod tests {
         assert_eq!(e.coupling_graph().max_degree(), 3);
         // ibm_washington has 142-144 couplers depending on calibration; the
         // generated lattice should be in that ballpark.
-        assert!((130..=150).contains(&e.num_couplers()), "got {}", e.num_couplers());
+        assert!(
+            (130..=150).contains(&e.num_couplers()),
+            "got {}",
+            e.num_couplers()
+        );
     }
 
     #[test]

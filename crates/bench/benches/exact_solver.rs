@@ -29,9 +29,13 @@ fn bench_certificate(c: &mut Criterion) {
         let arch = device.build();
         let bench_circuit =
             generate(&arch, &GeneratorConfig::new(5, 500).with_seed(2)).expect("generates");
-        group.bench_with_input(BenchmarkId::from_parameter(device.name()), &arch, |b, arch| {
-            b.iter(|| black_box(verify_certificate(&bench_circuit, arch).expect("certified")));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name()),
+            &arch,
+            |b, arch| {
+                b.iter(|| verify_certificate(black_box(&bench_circuit), arch).expect("certified"));
+            },
+        );
     }
     group.finish();
 }

@@ -16,12 +16,16 @@ fn bench_generation_per_device(c: &mut Criterion) {
             DeviceKind::Eagle127 => 1000,
             _ => 500,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(device.name()), &arch, |b, arch| {
-            b.iter(|| {
-                let config = GeneratorConfig::new(5, gates).with_seed(1);
-                black_box(generate(arch, &config).expect("generates"))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name()),
+            &arch,
+            |b, arch| {
+                b.iter(|| {
+                    let config = GeneratorConfig::new(5, gates).with_seed(1);
+                    black_box(generate(arch, &config).expect("generates"))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -10,9 +10,13 @@ fn bench_distance_matrix(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance_matrix");
     for device in DeviceKind::EVALUATION {
         let arch = device.build();
-        group.bench_with_input(BenchmarkId::from_parameter(device.name()), &arch, |b, arch| {
-            b.iter(|| black_box(DistanceMatrix::new(arch.coupling_graph())));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name()),
+            &arch,
+            |b, arch| {
+                b.iter(|| black_box(DistanceMatrix::new(arch.coupling_graph())));
+            },
+        );
     }
     group.finish();
 }

@@ -9,14 +9,19 @@ use std::hint::black_box;
 
 fn bench_tools_on_aspen(c: &mut Criterion) {
     let arch = DeviceKind::Aspen4.build();
-    let bench_circuit = generate(&arch, &GeneratorConfig::new(5, 300).with_seed(3)).expect("generates");
+    let bench_circuit =
+        generate(&arch, &GeneratorConfig::new(5, 300).with_seed(3)).expect("generates");
     let mut group = c.benchmark_group("route_aspen4_300g_5swaps");
     group.sample_size(10);
     for tool in ToolKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(tool.name()), &tool, |b, &tool| {
-            let router = tool.build(7);
-            b.iter(|| black_box(router.route(bench_circuit.circuit(), &arch).expect("fits")));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tool.name()),
+            &tool,
+            |b, &tool| {
+                let router = tool.build(7);
+                b.iter(|| black_box(router.route(bench_circuit.circuit(), &arch).expect("fits")));
+            },
+        );
     }
     group.finish();
 }
@@ -24,14 +29,22 @@ fn bench_tools_on_aspen(c: &mut Criterion) {
 fn bench_sabre_across_devices(c: &mut Criterion) {
     let mut group = c.benchmark_group("route_lightsabre_by_device");
     group.sample_size(10);
-    for device in [DeviceKind::Aspen4, DeviceKind::Sycamore54, DeviceKind::Rochester53] {
+    for device in [
+        DeviceKind::Aspen4,
+        DeviceKind::Sycamore54,
+        DeviceKind::Rochester53,
+    ] {
         let arch = device.build();
         let bench_circuit =
             generate(&arch, &GeneratorConfig::new(5, 400).with_seed(4)).expect("generates");
         let router = ToolKind::LightSabre.build(7);
-        group.bench_with_input(BenchmarkId::from_parameter(device.name()), &arch, |b, arch| {
-            b.iter(|| black_box(router.route(bench_circuit.circuit(), arch).expect("fits")));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.name()),
+            &arch,
+            |b, arch| {
+                b.iter(|| black_box(router.route(bench_circuit.circuit(), arch).expect("fits")));
+            },
+        );
     }
     group.finish();
 }

@@ -13,8 +13,11 @@ fn bench_lookahead_variants(c: &mut Criterion) {
         generate(&arch, &GeneratorConfig::new(4, 150).with_seed(6)).expect("generates");
     let mut group = c.benchmark_group("sabre_lookahead_aspen4");
     group.sample_size(10);
-    let variants: [(&str, Option<f64>); 3] =
-        [("uniform", None), ("decay_0.7", Some(0.7)), ("decay_0.4", Some(0.4))];
+    let variants: [(&str, Option<f64>); 3] = [
+        ("uniform", None),
+        ("decay_0.7", Some(0.7)),
+        ("decay_0.4", Some(0.4)),
+    ];
     for (name, decay) in variants {
         let mut config = SabreConfig::default().with_seed(5);
         config.lookahead_decay = decay;

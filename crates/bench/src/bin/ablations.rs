@@ -39,7 +39,10 @@ fn main() {
                     .route(point.benchmark.circuit(), &arch)
                     .expect("benchmark fits");
                 validate_routing(point.benchmark.circuit(), &arch, &routed).expect("valid");
-                point.benchmark.swap_ratio(&routed).expect("non-zero optimum")
+                point
+                    .benchmark
+                    .swap_ratio(&routed)
+                    .expect("non-zero optimum")
             })
             .collect();
         println!("  trials={trials:<3} mean swap ratio {:.2}x", mean(&ratios));
@@ -57,10 +60,16 @@ fn main() {
                 let routed = router
                     .route(point.benchmark.circuit(), &arch)
                     .expect("benchmark fits");
-                point.benchmark.swap_ratio(&routed).expect("non-zero optimum")
+                point
+                    .benchmark
+                    .swap_ratio(&routed)
+                    .expect("non-zero optimum")
             })
             .collect();
-        println!("  extended-set={size:<3} mean swap ratio {:.2}x", mean(&ratios));
+        println!(
+            "  extended-set={size:<3} mean swap ratio {:.2}x",
+            mean(&ratios)
+        );
     }
 
     // Ablation 3: padding (total gate budget) at a fixed optimal SWAP count.
@@ -83,9 +92,15 @@ fn main() {
                 let routed = router
                     .route(point.benchmark.circuit(), &arch)
                     .expect("benchmark fits");
-                point.benchmark.swap_ratio(&routed).expect("non-zero optimum")
+                point
+                    .benchmark
+                    .swap_ratio(&routed)
+                    .expect("non-zero optimum")
             })
             .collect();
-        println!("  two-qubit gates={gates:<4} mean swap ratio {:.2}x", mean(&ratios));
+        println!(
+            "  two-qubit gates={gates:<4} mean swap ratio {:.2}x",
+            mean(&ratios)
+        );
     }
 }

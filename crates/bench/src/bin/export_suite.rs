@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             point.swap_count,
             point.instance
         );
-        fs::write(out_dir.join(format!("{stem}.qasm")), to_qasm(point.benchmark.circuit()))?;
+        fs::write(
+            out_dir.join(format!("{stem}.qasm")),
+            to_qasm(point.benchmark.circuit()),
+        )?;
         let metadata = serde_json::json!({
             "architecture": point.benchmark.architecture(),
             "optimal_swaps": point.benchmark.optimal_swaps(),

@@ -5,26 +5,25 @@
 //! ```text
 //! optimality_study          # quick run (5 circuits per SWAP count)
 //! optimality_study --full   # the paper's 100 circuits per SWAP count
+//! optimality_study --smoke  # smallest complete run, used by nightly CI
 //! ```
 
 use qubikos_bench::optimality::{run_optimality_study, OptimalityConfig};
 use qubikos_bench::report::render_optimality;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let config = if full {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = if args.iter().any(|a| a == "--full") {
         OptimalityConfig::paper()
+    } else if args.iter().any(|a| a == "--smoke") {
+        OptimalityConfig::smoke()
     } else {
         OptimalityConfig::quick()
     };
     eprintln!(
         "verifying {} circuits per device on {:?}...",
         config.suite.total_circuits(),
-        config
-            .devices
-            .iter()
-            .map(|d| d.name())
-            .collect::<Vec<_>>()
+        config.devices.iter().map(|d| d.name()).collect::<Vec<_>>()
     );
     let report = run_optimality_study(&config);
     print!("{}", render_optimality(&report));

@@ -53,7 +53,11 @@ pub fn run_case_study(
     let suite = generate_suite(&arch, &suite_config).expect("suite generation succeeds");
 
     let uniform = SabreRouter::new(SabreConfig::default().with_seed(seed));
-    let decayed = SabreRouter::new(SabreConfig::default().with_seed(seed).with_lookahead_decay(decay));
+    let decayed = SabreRouter::new(
+        SabreConfig::default()
+            .with_seed(seed)
+            .with_lookahead_decay(decay),
+    );
 
     let mut uniform_ratios = Vec::new();
     let mut decayed_ratios = Vec::new();
@@ -69,7 +73,9 @@ pub fn run_case_study(
                 .route_with_initial_mapping(bench.circuit(), &arch, bench.reference_mapping())
                 .expect("benchmark fits its architecture");
             validate_routing(bench.circuit(), &arch, &routed).expect("router output is valid");
-            let ratio = bench.swap_ratio(&routed).expect("optimal count is non-zero");
+            let ratio = bench
+                .swap_ratio(&routed)
+                .expect("optimal count is non-zero");
             if routed.swap_count() == bench.optimal_swaps() {
                 *optimal += 1;
             }

@@ -1,10 +1,10 @@
 //! The Figure-4 experiment: SWAP-ratio optimality gaps of heuristic tools.
 
-use parking_lot::Mutex;
 use qubikos::{generate_suite, ExperimentPoint, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
 use qubikos_layout::{validate_routing, ToolKind};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Configuration of one tool-evaluation run (one subfigure of Figure 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,27 +103,31 @@ pub fn run_tool_evaluation(config: &EvaluationConfig) -> EvaluationReport {
     let results = Mutex::new(Vec::new());
 
     let threads = config.threads.max(1);
-    let work: Vec<(usize, &ExperimentPoint)> = suite.iter().enumerate().collect();
+    let work: Vec<&ExperimentPoint> = suite.iter().collect();
     let chunk_size = work.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for chunk in work.chunks(chunk_size.max(1)) {
             let results = &results;
             let arch = &arch;
             let tools = &config.tools;
             let tool_seed = config.tool_seed;
-            scope.spawn(move |_| {
-                for (_, point) in chunk {
+            scope.spawn(move || {
+                for point in chunk {
                     for &tool in tools {
                         let swaps = route_and_count(tool, tool_seed, point, arch);
-                        results.lock().push((tool, point.swap_count, swaps));
+                        results
+                            .lock()
+                            .expect("no worker panicked holding the lock")
+                            .push((tool, point.swap_count, swaps));
                     }
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
-    let raw = results.into_inner();
+    let raw = results
+        .into_inner()
+        .expect("no worker panicked holding the lock");
     let mut cells = Vec::new();
     for &tool in &config.tools {
         for &count in &config.suite.swap_counts {
@@ -205,7 +209,10 @@ mod tests {
         assert_eq!(report.cells.len(), 4);
         for cell in &report.cells {
             assert_eq!(cell.circuits, 2);
-            assert!(cell.swap_ratio >= 1.0 - 1e-9, "ratio below optimum: {cell:?}");
+            assert!(
+                cell.swap_ratio >= 1.0 - 1e-9,
+                "ratio below optimum: {cell:?}"
+            );
         }
         assert_eq!(report.cells_for(ToolKind::LightSabre).len(), 2);
         assert!(report.device_gap(ToolKind::LightSabre).is_some());

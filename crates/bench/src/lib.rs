@@ -21,5 +21,7 @@ pub mod optimality;
 pub mod report;
 
 pub use case_study::{run_case_study, CaseStudyOutcome};
-pub use evaluation::{aggregate_by_tool, run_tool_evaluation, EvaluationCell, EvaluationConfig, EvaluationReport};
+pub use evaluation::{
+    aggregate_by_tool, run_tool_evaluation, EvaluationCell, EvaluationConfig, EvaluationReport,
+};
 pub use optimality::{run_optimality_study, OptimalityConfig, OptimalityReport};

@@ -48,6 +48,25 @@ impl OptimalityConfig {
         config.suite = config.suite.with_circuits_per_count(5);
         config
     }
+
+    /// The CI smoke configuration: the smallest run that still exercises the
+    /// generator, the certificate checker, and the exhaustive exact solver on
+    /// every designed SWAP count. Nightly CI runs this to catch performance
+    /// and correctness regressions in the hot paths; it must stay fast enough
+    /// to finish in well under a minute in release mode.
+    pub fn smoke() -> Self {
+        OptimalityConfig {
+            devices: vec![DeviceKind::Grid3x3],
+            suite: SuiteConfig {
+                swap_counts: vec![1, 2, 3],
+                circuits_per_count: 2,
+                two_qubit_gates: 20,
+                base_seed: 2025,
+            },
+            exact: ExactConfig::default(),
+            exact_swap_limit: 3,
+        }
+    }
 }
 
 /// Aggregate outcome of the optimality study.
@@ -139,5 +158,18 @@ mod tests {
         assert_eq!(paper.devices.len(), 2);
         let quick = OptimalityConfig::quick();
         assert_eq!(quick.suite.circuits_per_count, 5);
+        let smoke = OptimalityConfig::smoke();
+        assert!(smoke.suite.total_circuits() <= 10);
+        assert_eq!(smoke.devices, vec![DeviceKind::Grid3x3]);
+    }
+
+    #[test]
+    fn smoke_study_passes_cleanly() {
+        let report = run_optimality_study(&OptimalityConfig::smoke());
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.certified, report.circuits);
+        // The smoke limit covers every designed SWAP count, so every circuit
+        // must also be exhaustively confirmed, not just certificate-checked.
+        assert_eq!(report.exactly_confirmed, report.circuits);
     }
 }

@@ -15,7 +15,11 @@ pub fn render_evaluation(report: &EvaluationReport) -> String {
     counts.dedup();
 
     let mut out = String::new();
-    let _ = writeln!(out, "SWAP ratio (average inserted / optimal) on {}", report.device.name());
+    let _ = writeln!(
+        out,
+        "SWAP ratio (average inserted / optimal) on {}",
+        report.device.name()
+    );
     let _ = write!(out, "{:<12}", "tool");
     for c in &counts {
         let _ = write!(out, "{:>12}", format!("opt={c}"));

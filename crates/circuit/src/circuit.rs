@@ -260,7 +260,13 @@ mod tests {
     fn two_qubit_depth_ignores_single_qubit_gates() {
         let c = Circuit::from_gates(
             3,
-            [Gate::h(0), Gate::h(0), Gate::cx(0, 1), Gate::h(1), Gate::cx(1, 2)],
+            [
+                Gate::h(0),
+                Gate::h(0),
+                Gate::cx(0, 1),
+                Gate::h(1),
+                Gate::cx(1, 2),
+            ],
         );
         assert_eq!(c.two_qubit_depth(), 2);
         assert!(c.depth() > c.two_qubit_depth());

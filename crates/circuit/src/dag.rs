@@ -186,7 +186,8 @@ impl DependencyDag {
     /// exists so consumers do not rely on that detail.
     pub fn topological_order(&self) -> Vec<DagNodeId> {
         let mut indegree: Vec<usize> = self.predecessors.iter().map(Vec::len).collect();
-        let mut queue: VecDeque<DagNodeId> = (0..self.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<DagNodeId> =
+            (0..self.len()).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(n) = queue.pop_front() {
             order.push(n);
@@ -306,7 +307,12 @@ mod tests {
     fn layers_group_parallel_gates() {
         let c = Circuit::from_gates(
             4,
-            [Gate::cx(0, 1), Gate::cx(2, 3), Gate::cx(1, 2), Gate::cx(0, 3)],
+            [
+                Gate::cx(0, 1),
+                Gate::cx(2, 3),
+                Gate::cx(1, 2),
+                Gate::cx(0, 3),
+            ],
         );
         let dag = DependencyDag::from_circuit(&c);
         let layers = dag.layers();

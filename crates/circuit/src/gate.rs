@@ -167,8 +167,14 @@ impl Gate {
     ///
     /// Panics if `a == b`.
     pub fn two(kind: TwoQubitKind, a: QubitId, b: QubitId) -> Self {
-        assert!(a != b, "two-qubit gate needs distinct qubits, got {a} twice");
-        Gate::Two { kind, qubits: [a, b] }
+        assert!(
+            a != b,
+            "two-qubit gate needs distinct qubits, got {a} twice"
+        );
+        Gate::Two {
+            kind,
+            qubits: [a, b],
+        }
     }
 
     /// Returns `true` for two-qubit gates.

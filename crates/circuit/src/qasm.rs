@@ -34,7 +34,11 @@ impl ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -85,7 +89,10 @@ pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
             .strip_suffix(';')
             .ok_or_else(|| ParseQasmError::new(line_number, "missing trailing ';'"))?
             .trim();
-        if statement.starts_with("creg") || statement.starts_with("measure") || statement.starts_with("barrier") {
+        if statement.starts_with("creg")
+            || statement.starts_with("measure")
+            || statement.starts_with("barrier")
+        {
             continue;
         }
         if let Some(rest) = statement.strip_prefix("qreg") {
@@ -105,12 +112,16 @@ pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
             .map(|op| parse_qubit_operand(op.trim()))
             .collect::<Option<Vec<_>>>()
             .ok_or_else(|| ParseQasmError::new(line_number, "malformed qubit operand"))?;
-        let gate = build_gate(mnemonic, &qubits)
-            .ok_or_else(|| ParseQasmError::new(line_number, format!("unsupported gate '{mnemonic}'")))?;
+        let gate = build_gate(mnemonic, &qubits).ok_or_else(|| {
+            ParseQasmError::new(line_number, format!("unsupported gate '{mnemonic}'"))
+        })?;
         if gate.max_qubit() >= circuit.num_qubits() {
             return Err(ParseQasmError::new(
                 line_number,
-                format!("qubit index out of range for register of {}", circuit.num_qubits()),
+                format!(
+                    "qubit index out of range for register of {}",
+                    circuit.num_qubits()
+                ),
             ));
         }
         circuit.push(gate);
@@ -177,7 +188,8 @@ mod tests {
 
     #[test]
     fn ignores_creg_measure_barrier() {
-        let text = "qreg q[2];\ncreg c[2];\ncx q[0], q[1];\nbarrier q[0], q[1];\nmeasure q[0] -> c[0];\n";
+        let text =
+            "qreg q[2];\ncreg c[2];\ncx q[0], q[1];\nbarrier q[0], q[1];\nmeasure q[0] -> c[0];\n";
         let c = parse_qasm(text).expect("parse");
         assert_eq!(c.gate_count(), 1);
     }

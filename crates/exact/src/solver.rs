@@ -405,7 +405,15 @@ mod tests {
     #[test]
     fn embeddable_circuit_needs_no_swaps() {
         let arch = devices::grid(3, 3);
-        let circuit = Circuit::from_gates(5, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(2, 3), Gate::cx(3, 4)]);
+        let circuit = Circuit::from_gates(
+            5,
+            [
+                Gate::cx(0, 1),
+                Gate::cx(1, 2),
+                Gate::cx(2, 3),
+                Gate::cx(3, 4),
+            ],
+        );
         let result = solver().solve(&circuit, &arch);
         assert_eq!(result.optimal_swaps, Some(0));
     }

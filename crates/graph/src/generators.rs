@@ -91,11 +91,7 @@ pub fn gnp_random_graph<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph
 /// Useful for property tests that need arbitrary but connected coupling
 /// graphs. `extra_edges` additional distinct edges are attempted on top of
 /// the spanning tree (fewer may be added on small graphs).
-pub fn random_connected_graph<R: Rng + ?Sized>(
-    n: usize,
-    extra_edges: usize,
-    rng: &mut R,
-) -> Graph {
+pub fn random_connected_graph<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
     let mut g = Graph::with_nodes(n);
     if n <= 1 {
         return g;

@@ -287,11 +287,7 @@ impl FromIterator<(NodeId, NodeId)> for Graph {
     /// endpoint seen.
     fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
         let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
-        let n = edges
-            .iter()
-            .map(|&(a, b)| a.max(b) + 1)
-            .max()
-            .unwrap_or(0);
+        let n = edges.iter().map(|&(a, b)| a.max(b) + 1).max().unwrap_or(0);
         Graph::from_edges(n, edges)
     }
 }

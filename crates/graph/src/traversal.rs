@@ -102,7 +102,10 @@ pub fn bfs_edge_order(graph: &Graph, starts: &[NodeId], skip: &[Edge]) -> Vec<Ed
 ///
 /// Panics if `start` is out of range.
 pub fn bfs_distances(graph: &Graph, start: NodeId) -> Vec<usize> {
-    assert!(start < graph.node_count(), "start node {start} out of range");
+    assert!(
+        start < graph.node_count(),
+        "start node {start} out of range"
+    );
     let mut dist = vec![usize::MAX; graph.node_count()];
     dist[start] = 0;
     let mut queue = VecDeque::new();

@@ -87,22 +87,21 @@ impl Router for AStarRouter {
             // emitted the moment its pair becomes adjacent — later SWAPs of
             // the same layer are then free to move its qubits again.
             let mut emitted = vec![false; layer.len()];
-            let emit_ready =
-                |mapping: &Mapping, out: &mut Circuit, emitted: &mut Vec<bool>| {
-                    for (k, &node) in layer.iter().enumerate() {
-                        if emitted[k] {
-                            continue;
-                        }
-                        let (a, b) = pairs[k];
-                        if arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
-                            for g in &attached[node] {
-                                out.push(g.map_qubits(|q| mapping.physical(q)));
-                            }
-                            out.push(dag.gate(node).map_qubits(|q| mapping.physical(q)));
-                            emitted[k] = true;
-                        }
+            let emit_ready = |mapping: &Mapping, out: &mut Circuit, emitted: &mut Vec<bool>| {
+                for (k, &node) in layer.iter().enumerate() {
+                    if emitted[k] {
+                        continue;
                     }
-                };
+                    let (a, b) = pairs[k];
+                    if arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
+                        for g in &attached[node] {
+                            out.push(g.map_qubits(|q| mapping.physical(q)));
+                        }
+                        out.push(dag.gate(node).map_qubits(|q| mapping.physical(q)));
+                        emitted[k] = true;
+                    }
+                }
+            };
             emit_ready(&mapping, &mut out, &mut emitted);
             for (pa, pb) in swaps {
                 out.push(Gate::swap(pa, pb));
@@ -151,12 +150,19 @@ impl Router for AStarRouter {
     }
 }
 
+/// One A* search state: the program→physical assignment, plus the parent
+/// state index and the SWAP that produced it (`None` for the root).
+type SearchState = (Vec<NodeId>, Option<(usize, (NodeId, NodeId))>);
+
 impl AStarRouter {
     /// Summed excess distance of the layer's gate pairs under `assignment`.
     fn heuristic(pairs: &[(usize, usize)], arch: &Architecture, assignment: &[NodeId]) -> usize {
         pairs
             .iter()
-            .map(|&(a, b)| arch.distance(assignment[a], assignment[b]).saturating_sub(1))
+            .map(|&(a, b)| {
+                arch.distance(assignment[a], assignment[b])
+                    .saturating_sub(1)
+            })
             .sum()
     }
 
@@ -167,7 +173,9 @@ impl AStarRouter {
         arch: &Architecture,
         mapping: &Mapping,
     ) -> Vec<(NodeId, NodeId)> {
-        let start: Vec<NodeId> = (0..mapping.num_program()).map(|q| mapping.physical(q)).collect();
+        let start: Vec<NodeId> = (0..mapping.num_program())
+            .map(|q| mapping.physical(q))
+            .collect();
         if Self::heuristic(pairs, arch, &start) == 0 {
             return Vec::new();
         }
@@ -175,7 +183,7 @@ impl AStarRouter {
         // Priority queue keyed by f = g + h; states identified by the
         // program→physical assignment vector.
         let mut open: BinaryHeap<Reverse<(usize, usize, usize)>> = BinaryHeap::new();
-        let mut states: Vec<(Vec<NodeId>, Option<(usize, (NodeId, NodeId))>)> = Vec::new();
+        let mut states: Vec<SearchState> = Vec::new();
         let mut best_g: HashMap<Vec<NodeId>, usize> = HashMap::new();
 
         states.push((start.clone(), None));
@@ -235,7 +243,11 @@ impl AStarRouter {
                 best_g.insert(next.clone(), next_g);
                 let next_id = states.len();
                 states.push((next.clone(), Some((id, (edge.u, edge.v)))));
-                open.push(Reverse((next_g + Self::heuristic(pairs, arch, &next), next_g, next_id)));
+                open.push(Reverse((
+                    next_g + Self::heuristic(pairs, arch, &next),
+                    next_g,
+                    next_id,
+                )));
             }
         }
 
@@ -246,10 +258,7 @@ impl AStarRouter {
     }
 
     /// Rebuilds the SWAP sequence leading to state `id`.
-    fn reconstruct(
-        states: &[(Vec<NodeId>, Option<(usize, (NodeId, NodeId))>)],
-        mut id: usize,
-    ) -> Vec<(NodeId, NodeId)> {
+    fn reconstruct(states: &[SearchState], mut id: usize) -> Vec<(NodeId, NodeId)> {
         let mut swaps = Vec::new();
         while let Some((parent, swap)) = states[id].1 {
             swaps.push(swap);
@@ -344,7 +353,9 @@ mod tests {
         };
         let arch = devices::grid(3, 3);
         let circuit = random_circuit(9, 40, 7);
-        let routed = AStarRouter::new(config).route(&circuit, &arch).expect("fits");
+        let routed = AStarRouter::new(config)
+            .route(&circuit, &arch)
+            .expect("fits");
         validate_routing(&circuit, &arch, &routed).expect("valid");
     }
 

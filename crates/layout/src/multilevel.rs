@@ -255,7 +255,10 @@ impl MultilevelRouter {
                         .map(|&(np, w)| w * arch.distance(p, np) as u64)
                         .sum();
                     let anchor_cost = anchor.map_or(0, |a| arch.distance(p, a) as u64);
-                    (neighbor_cost + anchor_cost, arch.num_qubits() - arch.degree(p))
+                    (
+                        neighbor_cost + anchor_cost,
+                        arch.num_qubits() - arch.degree(p),
+                    )
                 })
                 .expect("device has enough qubits");
             assignment[u] = best;
@@ -385,7 +388,9 @@ mod tests {
     fn routes_valid_circuits() {
         let arch = devices::aspen4();
         let circuit = random_circuit(14, 60, 3);
-        let routed = MultilevelRouter::default().route(&circuit, &arch).expect("fits");
+        let routed = MultilevelRouter::default()
+            .route(&circuit, &arch)
+            .expect("fits");
         validate_routing(&circuit, &arch, &routed).expect("valid");
         assert_eq!(routed.tool, "ml-qls");
     }

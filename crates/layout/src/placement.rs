@@ -180,7 +180,10 @@ mod tests {
             .sum();
         // A line of 6 qubits fits with all neighbours adjacent; the greedy
         // placement should get close to the ideal total of 5.
-        assert!(total <= 8, "greedy placement scattered qubits: total {total}");
+        assert!(
+            total <= 8,
+            "greedy placement scattered qubits: total {total}"
+        );
     }
 
     #[test]

@@ -376,7 +376,10 @@ impl<'a> RoutingPass<'a> {
         decay: &[f64],
         rng: &mut ChaCha8Rng,
     ) -> (NodeId, NodeId) {
-        debug_assert!(!candidates.is_empty(), "front gates always have candidate swaps");
+        debug_assert!(
+            !candidates.is_empty(),
+            "front gates always have candidate swaps"
+        );
         let mut best_score = f64::INFINITY;
         let mut best: Vec<(NodeId, NodeId)> = Vec::new();
         for &(pa, pb) in candidates {
@@ -423,16 +426,17 @@ impl<'a> RoutingPass<'a> {
         let lookahead = if extended.is_empty() {
             0.0
         } else {
-            let (sum, weight_sum) = extended.iter().enumerate().fold(
-                (0.0f64, 0.0f64),
-                |(sum, weights), (i, &n)| {
-                    let w = match self.config.lookahead_decay {
-                        Some(d) => d.powi(i as i32),
-                        None => 1.0,
-                    };
-                    (sum + w * gate_distance(n), weights + w)
-                },
-            );
+            let (sum, weight_sum) =
+                extended
+                    .iter()
+                    .enumerate()
+                    .fold((0.0f64, 0.0f64), |(sum, weights), (i, &n)| {
+                        let w = match self.config.lookahead_decay {
+                            Some(d) => d.powi(i as i32),
+                            None => 1.0,
+                        };
+                        (sum + w * gate_distance(n), weights + w)
+                    });
             self.config.extended_set_weight * sum / weight_sum
         };
         let decay_factor = decay[swap.0].max(decay[swap.1]);
@@ -484,7 +488,10 @@ pub(crate) fn attach_for_router(
 /// Associates every single-qubit gate with the two-qubit DAG node it must
 /// precede (the next two-qubit gate on its qubit); gates after the last
 /// two-qubit gate on their qubit are returned separately as trailing gates.
-fn attach_single_qubit_gates(circuit: &Circuit, dag: &DependencyDag) -> (Vec<Vec<Gate>>, Vec<Gate>) {
+fn attach_single_qubit_gates(
+    circuit: &Circuit,
+    dag: &DependencyDag,
+) -> (Vec<Vec<Gate>>, Vec<Gate>) {
     let mut attached = vec![Vec::new(); dag.len()];
     let mut trailing = Vec::new();
     // Map circuit index of each two-qubit gate to its DAG node.
@@ -652,7 +659,9 @@ mod tests {
         config.extended_set_size = 0;
         let arch = devices::grid(3, 3);
         let circuit = random_circuit(8, 25, 13);
-        let routed = SabreRouter::new(config).route(&circuit, &arch).expect("fits");
+        let routed = SabreRouter::new(config)
+            .route(&circuit, &arch)
+            .expect("fits");
         validate_routing(&circuit, &arch, &routed).expect("valid");
     }
 

@@ -113,7 +113,8 @@ pub fn validate_routing(
 
     let dag = DependencyDag::from_circuit(original);
     let mut executed = vec![false; dag.len()];
-    let mut remaining_preds: Vec<usize> = (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
+    let mut remaining_preds: Vec<usize> =
+        (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
     let mut executed_count = 0usize;
     let mut current = mapping.clone();
 
@@ -167,7 +168,7 @@ pub fn validate_routing(
             remaining: dag.len() - executed_count,
         });
     }
-    if &current != &routed.final_mapping {
+    if current != routed.final_mapping {
         return Err(ValidationError::FinalMappingMismatch);
     }
     Ok(())
@@ -227,7 +228,10 @@ mod tests {
         let (original, arch, mut routed) = figure1_example();
         routed.physical_circuit = Circuit::from_gates(4, [Gate::cx(1, 0)]);
         let err = validate_routing(&original, &arch, &routed).unwrap_err();
-        assert!(matches!(err, ValidationError::MissingGates { remaining: 2 }));
+        assert!(matches!(
+            err,
+            ValidationError::MissingGates { remaining: 2 }
+        ));
     }
 
     #[test]

@@ -150,7 +150,12 @@ mod tests {
         let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
         let reference = Circuit::from_gates(
             3,
-            [Gate::cx(0, 1), Gate::cx(1, 2), Gate::swap(0, 1), Gate::cx(1, 2)],
+            [
+                Gate::cx(0, 1),
+                Gate::cx(1, 2),
+                Gate::swap(0, 1),
+                Gate::cx(1, 2),
+            ],
         );
         QubikosCircuit::new(
             circuit,

@@ -104,7 +104,10 @@ impl Error for CertificateError {}
 /// # Errors
 ///
 /// Returns the first failed check as a [`CertificateError`].
-pub fn verify_certificate(bench: &QubikosCircuit, arch: &Architecture) -> Result<(), CertificateError> {
+pub fn verify_certificate(
+    bench: &QubikosCircuit,
+    arch: &Architecture,
+) -> Result<(), CertificateError> {
     if bench.architecture() != arch.name() {
         return Err(CertificateError::ArchitectureMismatch {
             expected: bench.architecture().to_string(),
@@ -160,10 +163,12 @@ fn verify_sections_force_swaps(
                     detail: format!("gate index {gate_index} out of range"),
                 }
             })?;
-            let (a, b) = gate.qubit_pair().ok_or_else(|| CertificateError::MalformedSection {
-                section: idx,
-                detail: format!("gate index {gate_index} is not a two-qubit gate"),
-            })?;
+            let (a, b) = gate
+                .qubit_pair()
+                .ok_or_else(|| CertificateError::MalformedSection {
+                    section: idx,
+                    detail: format!("gate index {gate_index} is not a two-qubit gate"),
+                })?;
             interaction.add_edge(a, b);
         }
         // Only the qubits the section actually uses matter for embeddability;
@@ -267,7 +272,8 @@ mod tests {
             qubikos_arch::DeviceKind::Rochester53,
         ] {
             let arch = kind.build();
-            let bench = generate(&arch, &GeneratorConfig::new(3, 120).with_seed(9)).expect("generates");
+            let bench =
+                generate(&arch, &GeneratorConfig::new(3, 120).with_seed(9)).expect("generates");
             verify_certificate(&bench, &arch).expect("certificate holds");
         }
     }
@@ -298,7 +304,10 @@ mod tests {
         );
         assert!(matches!(
             verify_certificate(&forged, &arch).unwrap_err(),
-            CertificateError::ReferenceSwapMismatch { claimed: 2, actual: 1 }
+            CertificateError::ReferenceSwapMismatch {
+                claimed: 2,
+                actual: 1
+            }
         ));
     }
 
@@ -310,10 +319,7 @@ mod tests {
         let circuit = Circuit::from_gates(9, [Gate::cx(0, 1), Gate::cx(1, 2)]);
         // A valid reference with one (pointless) SWAP on an unrelated coupler,
         // so that only the Lemma-1 check can reject the instance.
-        let reference = Circuit::from_gates(
-            9,
-            [Gate::cx(0, 1), Gate::swap(3, 4), Gate::cx(1, 2)],
-        );
+        let reference = Circuit::from_gates(9, [Gate::cx(0, 1), Gate::swap(3, 4), Gate::cx(1, 2)]);
         let section = crate::benchmark::Section {
             body_indices: vec![0],
             special_index: 1,
@@ -333,7 +339,10 @@ mod tests {
         // Either the reference replay or the embeddability check must fire;
         // for this instance the reference is actually valid, so Lemma 1 is
         // the one that rejects it.
-        assert!(matches!(err, CertificateError::SectionEmbeddable { section: 0 }));
+        assert!(matches!(
+            err,
+            CertificateError::SectionEmbeddable { section: 0 }
+        ));
     }
 
     #[test]
@@ -363,7 +372,10 @@ mod tests {
     fn error_display_is_informative() {
         let err = CertificateError::SectionEmbeddable { section: 3 };
         assert!(err.to_string().contains("section 3"));
-        let err = CertificateError::ReferenceSwapMismatch { claimed: 4, actual: 2 };
+        let err = CertificateError::ReferenceSwapMismatch {
+            claimed: 4,
+            actual: 2,
+        };
         assert!(err.to_string().contains('4'));
     }
 }

@@ -88,7 +88,10 @@ impl Error for GenerateError {}
 /// [`GenerateError::UnsupportedArchitecture`] when the coupling graph is
 /// complete (no SWAP can ever enable a new interaction) or has fewer than
 /// three qubits.
-pub fn generate(arch: &Architecture, config: &GeneratorConfig) -> Result<QubikosCircuit, GenerateError> {
+pub fn generate(
+    arch: &Architecture,
+    config: &GeneratorConfig,
+) -> Result<QubikosCircuit, GenerateError> {
     if config.num_swaps == 0 {
         return Err(GenerateError::ZeroSwaps);
     }
@@ -201,9 +204,8 @@ impl<'a, 'r> Builder<'a, 'r> {
             .iter()
             .filter(|&&(_, p, _)| coupling.degree(p) == best_degree)
             .collect();
-        let &&(swap_edge, saturate, partner) = top
-            .choose(self.rng)
-            .expect("top candidates is non-empty");
+        let &&(swap_edge, saturate, partner) =
+            top.choose(self.rng).expect("top candidates is non-empty");
 
         // --- Algorithm 1: body edges (program-qubit pairs). ---
         let mut body: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
@@ -409,16 +411,25 @@ impl<'a, 'r> Builder<'a, 'r> {
         let couplers: Vec<Edge> = coupling.edges().collect();
         while self.circuit.two_qubit_gate_count() < config.target_two_qubit_gates {
             let section_idx = self.rng.gen_range(0..self.sections.len());
-            let edge = *couplers.choose(self.rng).expect("architecture has couplers");
+            let edge = *couplers
+                .choose(self.rng)
+                .expect("architecture has couplers");
             let mapping = &self.mappings[section_idx];
             // Program pair occupying this coupler while section `section_idx`
             // executes (mapping snapshots are program→physical, invert lazily).
-            let qa = mapping.iter().position(|&p| p == edge.u).expect("full occupancy");
-            let qb = mapping.iter().position(|&p| p == edge.v).expect("full occupancy");
+            let qa = mapping
+                .iter()
+                .position(|&p| p == edge.u)
+                .expect("full occupancy");
+            let qb = mapping
+                .iter()
+                .position(|&p| p == edge.v)
+                .expect("full occupancy");
             let gate = Gate::cx(qa.min(qb), qa.max(qb));
             self.insert_padding(section_idx, gate);
         }
-        let singles = (self.circuit.two_qubit_gate_count() as f64 * config.single_qubit_ratio) as usize;
+        let singles =
+            (self.circuit.two_qubit_gate_count() as f64 * config.single_qubit_ratio) as usize;
         let kinds = OneQubitKind::ALL;
         for _ in 0..singles {
             let section_idx = self.rng.gen_range(0..self.sections.len());

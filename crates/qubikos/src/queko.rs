@@ -140,7 +140,10 @@ impl fmt::Display for QuekoCircuit {
 ///
 /// Returns [`QuekoError::ZeroDepth`] for `depth == 0` and
 /// [`QuekoError::NoCouplers`] for a device without couplers.
-pub fn generate_queko(arch: &Architecture, config: &QuekoConfig) -> Result<QuekoCircuit, QuekoError> {
+pub fn generate_queko(
+    arch: &Architecture,
+    config: &QuekoConfig,
+) -> Result<QuekoCircuit, QuekoError> {
     if config.depth == 0 {
         return Err(QuekoError::ZeroDepth);
     }
@@ -220,7 +223,8 @@ mod tests {
     #[test]
     fn depth_matches_design_and_mapping_is_swap_free() {
         for (arch, depth) in [(devices::grid(3, 3), 5), (devices::aspen4(), 12)] {
-            let queko = generate_queko(&arch, &QuekoConfig::new(depth).with_seed(3)).expect("generates");
+            let queko =
+                generate_queko(&arch, &QuekoConfig::new(depth).with_seed(3)).expect("generates");
             assert_eq!(queko.optimal_depth(), depth);
             assert_eq!(queko.optimal_swaps(), 0);
             assert_eq!(queko.circuit().two_qubit_depth(), depth);
@@ -270,7 +274,9 @@ mod tests {
         let dense = generate_queko(&arch, &QuekoConfig::new(10).with_density(0.8).with_seed(4))
             .expect("generates");
         assert_eq!(sparse.circuit().two_qubit_gate_count(), 10);
-        assert!(dense.circuit().two_qubit_gate_count() > 3 * sparse.circuit().two_qubit_gate_count());
+        assert!(
+            dense.circuit().two_qubit_gate_count() > 3 * sparse.circuit().two_qubit_gate_count()
+        );
         assert_eq!(dense.circuit().two_qubit_depth(), 10);
     }
 

@@ -101,7 +101,8 @@ pub fn generate_suite(
                 .base_seed
                 .wrapping_mul(1_000_003)
                 .wrapping_add((count_index * config.circuits_per_count + instance) as u64);
-            let gen_config = GeneratorConfig::new(swap_count, config.two_qubit_gates).with_seed(seed);
+            let gen_config =
+                GeneratorConfig::new(swap_count, config.two_qubit_gates).with_seed(seed);
             let benchmark = generate(arch, &gen_config)?;
             points.push(ExperimentPoint {
                 swap_count,

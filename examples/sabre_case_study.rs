@@ -17,7 +17,11 @@ use std::error::Error;
 fn main() -> Result<(), Box<dyn Error>> {
     let arch = devices::aspen4();
     let uniform = SabreRouter::new(SabreConfig::default().with_seed(11));
-    let decayed = SabreRouter::new(SabreConfig::default().with_seed(11).with_lookahead_decay(0.7));
+    let decayed = SabreRouter::new(
+        SabreConfig::default()
+            .with_seed(11)
+            .with_lookahead_decay(0.7),
+    );
 
     println!("routing from the optimal initial mapping on {arch}");
     println!(

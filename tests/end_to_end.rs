@@ -61,7 +61,8 @@ fn qubikos_circuits_defeat_vf2_placement() {
     for kind in [DeviceKind::Grid3x3, DeviceKind::Aspen4] {
         let arch = kind.build();
         for seed in 0..3u64 {
-            let bench = generate(&arch, &GeneratorConfig::new(2, 40).with_seed(seed)).expect("generates");
+            let bench =
+                generate(&arch, &GeneratorConfig::new(2, 40).with_seed(seed)).expect("generates");
             assert!(
                 vf2_placement(bench.circuit(), &arch).is_none(),
                 "a SWAP-free placement exists, contradicting the designed optimum"

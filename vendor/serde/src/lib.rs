@@ -1,0 +1,416 @@
+//! Offline-vendored minimal substitute for the `serde` crate.
+//!
+//! The QUBIKOS workspace builds in environments with no network access, so
+//! the real `serde` cannot be fetched from crates.io. This crate provides the
+//! small slice of the serde surface the workspace actually uses:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits over a self-describing [`Value`]
+//!   data model (JSON-shaped), implemented for the std types the workspace
+//!   serializes;
+//! * re-exported `#[derive(Serialize, Deserialize)]` macros from the
+//!   companion `serde_derive` crate.
+//!
+//! The data model intentionally mirrors JSON because `serde_json` (also
+//! vendored) is the only serializer in the workspace. Swapping back to the
+//! real serde is a drop-in change once a registry is reachable: the derive
+//! spellings and call sites (`serde_json::to_string`, `from_str`, `json!`)
+//! are identical.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value in the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (always `< 0`; non-negative integers use [`Value::UInt`]).
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array of values.
+    Array(Vec<Value>),
+    /// Object: ordered key/value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value, for derived `Deserialize` impls.
+    pub fn object_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Indexes into an array value, for derived `Deserialize` impls.
+    pub fn array_item(&self, index: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items.get(index).ok_or_else(|| {
+                Error::new(format!(
+                    "array index {index} out of bounds (len {})",
+                    items.len()
+                ))
+            }),
+            other => Err(Error::new(format!(
+                "expected array, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Human-readable name of the value's kind, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn integer_from(value: &Value) -> Result<i128, Error> {
+    match value {
+        Value::UInt(v) => Ok(i128::from(*v)),
+        Value::Int(v) => Ok(i128::from(*v)),
+        other => Err(Error::new(format!(
+            "expected integer, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let raw = integer_from(value)?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(v) => Ok(*v),
+            Value::UInt(v) => Ok(*v as f64),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(Error::new(format!(
+                "expected number, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(v) => Ok(*v),
+            other => Err(Error::new(format!(
+                "expected bool, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(v) => Ok(v.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let s = String::deserialize_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-character string")),
+        }
+    }
+}
+
+fn array_from(value: &Value) -> Result<&[Value], Error> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(Error::new(format!(
+            "expected array, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        array_from(value)?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let items = array_from(value)?;
+        if items.len() != N {
+            return Err(Error::new(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .iter()
+            .map(T::deserialize_value)
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::new("array length mismatch"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let items = array_from(value)?;
+        if items.len() != 2 {
+            return Err(Error::new(format!(
+                "expected 2-element array, found {}",
+                items.len()
+            )));
+        }
+        Ok((
+            A::deserialize_value(&items[0])?,
+            B::deserialize_value(&items[1])?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let items = array_from(value)?;
+        if items.len() != 3 {
+            return Err(Error::new(format!(
+                "expected 3-element array, found {}",
+                items.len()
+            )));
+        }
+        Ok((
+            A::deserialize_value(&items[0])?,
+            B::deserialize_value(&items[1])?,
+            C::deserialize_value(&items[2])?,
+        ))
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,438 @@
+//! Offline-vendored `#[derive(Serialize, Deserialize)]` for the minimal
+//! serde substitute in `vendor/serde`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! offline builds, so this crate parses the item token stream by hand. It
+//! supports exactly the shapes the QUBIKOS workspace uses:
+//!
+//! * structs with named fields, tuple structs, and unit structs;
+//! * enums whose variants are unit, named-field, or tuple variants;
+//! * no generic parameters (the workspace derives only on concrete types).
+//!
+//! Representation (round-trip consistent with itself, JSON-shaped):
+//! a named struct becomes an object; a tuple struct an array; a unit enum
+//! variant a string; a data-carrying variant a single-key object
+//! `{"Variant": ...}` (externally tagged, like real serde).
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    /// `struct S;` or `Variant,`
+    Unit,
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — number of fields.
+    Tuple(usize),
+}
+
+/// Parsed shape of the item the derive is attached to.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize` (the vendored minimal trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (the vendored minimal trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = Peekable<<TokenStream as IntoIterator>::IntoIter>;
+
+/// Skips any `#[...]` attributes (including doc comments) at the cursor.
+fn skip_attributes(iter: &mut TokenIter) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next(); // '#'
+        match iter.next() {
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` visibility qualifiers.
+fn skip_visibility(iter: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&mut iter);
+        // Optional trailing comma was consumed by skip_type.
+    }
+    names
+}
+
+/// Skips a type (everything up to a `,` at angle-bracket depth zero),
+/// consuming the comma if present.
+fn skip_type(iter: &mut TokenIter) {
+    let mut depth: i64 = 0;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    iter.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        iter.next();
+    }
+}
+
+/// Counts comma-separated entries at angle-depth zero (tuple fields).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut iter = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut iter);
+    }
+    count
+}
+
+/// Parses enum variants into `(name, fields)` pairs.
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                iter.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut depth: i64 = 0;
+        while let Some(tt) = iter.peek() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        iter.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            iter.next();
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::serde::Value::String(::std::string::String::from(\"{name}\"))"),
+        Fields::Named(field_names) => {
+            let mut s = String::from("{ let mut fields = ::std::vec::Vec::new(); ");
+            for f in field_names {
+                let _ = write!(
+                    s,
+                    "fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f}))); "
+                );
+            }
+            s.push_str("::serde::Value::Object(fields) }");
+            s
+        }
+        Fields::Tuple(n) => {
+            let mut s = String::from("{ let mut items = ::std::vec::Vec::new(); ");
+            for i in 0..*n {
+                let _ = write!(
+                    s,
+                    "items.push(::serde::Serialize::serialize_value(&self.{i})); "
+                );
+            }
+            s.push_str("::serde::Value::Array(items) }");
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(field_names) => {
+            let mut s = format!("::std::result::Result::Ok({name} {{ ");
+            for f in field_names {
+                let _ = write!(
+                    s,
+                    "{f}: ::serde::Deserialize::deserialize_value(value.object_field(\"{f}\")?)?, "
+                );
+            }
+            s.push_str("})");
+            s
+        }
+        Fields::Tuple(n) => {
+            let mut s = format!("::std::result::Result::Ok({name}(");
+            for i in 0..*n {
+                let _ = write!(
+                    s,
+                    "::serde::Deserialize::deserialize_value(value.array_item({i})?)?, "
+                );
+            }
+            s.push_str("))");
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn deserialize_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{name}::{variant} => ::serde::Value::String(\
+                     ::std::string::String::from(\"{variant}\")), "
+                );
+            }
+            Fields::Named(field_names) => {
+                let bindings = field_names.join(", ");
+                let mut inner = String::from("{ let mut fields = ::std::vec::Vec::new(); ");
+                for f in field_names {
+                    let _ = write!(
+                        inner,
+                        "fields.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_value({f}))); "
+                    );
+                }
+                inner.push_str("::serde::Value::Object(fields) }");
+                let _ = write!(
+                    arms,
+                    "{name}::{variant} {{ {bindings} }} => \
+                     ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{variant}\"), {inner})]), "
+                );
+            }
+            Fields::Tuple(n) => {
+                let bindings: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let pattern = bindings.join(", ");
+                let mut inner = String::from("{ let mut items = ::std::vec::Vec::new(); ");
+                for b in &bindings {
+                    let _ = write!(
+                        inner,
+                        "items.push(::serde::Serialize::serialize_value({b})); "
+                    );
+                }
+                inner.push_str("::serde::Value::Array(items) }");
+                let _ = write!(
+                    arms,
+                    "{name}::{variant}({pattern}) => \
+                     ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{variant}\"), {inner})]), "
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn serialize_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                let _ = write!(
+                    unit_arms,
+                    "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}), "
+                );
+            }
+            Fields::Named(field_names) => {
+                let mut ctor = format!("{name}::{variant} {{ ");
+                for f in field_names {
+                    let _ = write!(
+                        ctor,
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         inner.object_field(\"{f}\")?)?, "
+                    );
+                }
+                ctor.push('}');
+                let _ = write!(
+                    data_arms,
+                    "\"{variant}\" => ::std::result::Result::Ok({ctor}), "
+                );
+            }
+            Fields::Tuple(n) => {
+                let mut ctor = format!("{name}::{variant}(");
+                for i in 0..*n {
+                    let _ = write!(
+                        ctor,
+                        "::serde::Deserialize::deserialize_value(inner.array_item({i})?)?, "
+                    );
+                }
+                ctor.push(')');
+                let _ = write!(
+                    data_arms,
+                    "\"{variant}\" => ::std::result::Result::Ok({ctor}), "
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn deserialize_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ \
+         match value {{ \
+         ::serde::Value::String(s) => match s.as_str() {{ \
+         {unit_arms} \
+         other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+         \"unknown variant `{{other}}` of {name}\"))), \
+         }}, \
+         ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+         let (tag, inner) = &entries[0]; \
+         match tag.as_str() {{ \
+         {data_arms} \
+         other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+         \"unknown variant `{{other}}` of {name}\"))), \
+         }} \
+         }}, \
+         other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+         \"expected {name} variant, found {{}}\", other.kind_name()))), \
+         }} }} }}"
+    )
+}
