@@ -1,0 +1,66 @@
+//! Executor micro-benchmarks: per-job scheduling overhead and end-to-end
+//! evaluation throughput by thread count. These seed the repo's performance
+//! trajectory — future engine changes (sharding, batching, async backends)
+//! must not regress the overhead numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qubikos_arch::DeviceKind;
+use qubikos_bench::evaluation::{run_tool_evaluation, EvaluationConfig};
+use qubikos_engine::{available_threads, Engine, NullSink};
+use std::hint::black_box;
+
+/// Pure scheduling overhead: 4096 near-empty jobs. Wall time divided by the
+/// job count approximates the per-job cost of claim + time + record + merge.
+fn bench_executor_overhead(c: &mut Criterion) {
+    let jobs: Vec<u64> = (0..4096).collect();
+    let mut group = c.benchmark_group("engine_overhead_4096_trivial_jobs");
+    group.sample_size(10);
+    for threads in [1usize, 2, available_threads()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let engine = Engine::new(threads);
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .run_values(
+                                &jobs,
+                                |_| (),
+                                |_, ctx, &job| job.wrapping_add(ctx.seed),
+                                &NullSink,
+                            )
+                            .expect("no panics"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end evaluation throughput on a small real workload (one tool, the
+/// 3×3 grid) at 1/2/N threads — the quantity the tentpole refactor exists to
+/// improve on multi-core hosts.
+fn bench_evaluation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_evaluation_grid3x3");
+    group.sample_size(10);
+    for threads in [1usize, 2, available_threads()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let config = EvaluationConfig::quick(DeviceKind::Grid3x3).with_threads(threads);
+                b.iter(|| black_box(run_tool_evaluation(&config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor_overhead,
+    bench_evaluation_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! Design ablations called out in DESIGN.md: how the SABRE trial count and
+//! extended-set size change the optimality gap, and how redundant-gate
+//! padding changes benchmark difficulty.
+//!
+//! Formerly inline in the `ablations` binary and fully sequential; now a
+//! library module so the sweeps run on the [`qubikos_engine`] executor (one
+//! job per circuit, per-worker router reuse) and the binary only parses
+//! flags and renders.
+
+use qubikos::{generate_suite, ExperimentPoint, SuiteConfig};
+use qubikos_arch::{Architecture, DeviceKind};
+use qubikos_engine::{Engine, NullSink, ProgressSink, AUTO_THREADS};
+use qubikos_layout::{validate_routing, Router, SabreConfig, SabreRouter};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the ablation sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationConfig {
+    /// Device the sweeps run on.
+    pub device: DeviceKind,
+    /// SABRE trial counts to sweep (ablation 1).
+    pub trial_counts: Vec<usize>,
+    /// Extended-set sizes to sweep (ablation 2).
+    pub extended_set_sizes: Vec<usize>,
+    /// Two-qubit gate budgets to sweep at a fixed SWAP count (ablation 3).
+    pub padding_gate_budgets: Vec<usize>,
+    /// Designed SWAP count used by the padding sweep.
+    pub padding_swap_count: usize,
+    /// Suite used by the trial-count and extended-set sweeps.
+    pub suite: SuiteConfig,
+    /// Circuits per padding budget.
+    pub padding_circuits_per_budget: usize,
+    /// Base seed of the padding sweep's suites (independent of `suite` so the
+    /// padding instances differ from the trial/extended-set instances).
+    pub padding_base_seed: u64,
+    /// Router seed shared by every sweep point.
+    pub router_seed: u64,
+    /// Number of worker threads; [`AUTO_THREADS`] (0) uses every available
+    /// core. Results are identical for any value.
+    pub threads: usize,
+}
+
+impl AblationConfig {
+    /// The sweep configuration the `ablations` binary has always run:
+    /// Aspen-4, trials {1, 4, 16}, extended sets {0, 5, 20, 40}, padding
+    /// budgets {100, 200, 400} at 6 designed SWAPs.
+    pub fn paper() -> Self {
+        AblationConfig {
+            device: DeviceKind::Aspen4,
+            trial_counts: vec![1, 4, 16],
+            extended_set_sizes: vec![0, 5, 20, 40],
+            padding_gate_budgets: vec![100, 200, 400],
+            padding_swap_count: 6,
+            suite: SuiteConfig {
+                swap_counts: vec![4, 8],
+                circuits_per_count: 3,
+                two_qubit_gates: 150,
+                base_seed: 21,
+            },
+            padding_circuits_per_budget: 3,
+            padding_base_seed: 33,
+            router_seed: 5,
+            threads: AUTO_THREADS,
+        }
+    }
+
+    /// A grid-sized configuration for tests: same shape, seconds of runtime.
+    pub fn quick() -> Self {
+        AblationConfig {
+            device: DeviceKind::Grid3x3,
+            trial_counts: vec![1, 2],
+            extended_set_sizes: vec![0, 5],
+            padding_gate_budgets: vec![20, 40],
+            padding_swap_count: 2,
+            suite: SuiteConfig {
+                swap_counts: vec![1, 2],
+                circuits_per_count: 2,
+                two_qubit_gates: 20,
+                base_seed: 21,
+            },
+            padding_circuits_per_budget: 2,
+            padding_base_seed: 33,
+            router_seed: 5,
+            threads: AUTO_THREADS,
+        }
+    }
+
+    /// Returns the configuration with an explicit thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// One sweep point: a parameter value and the mean SWAP ratio it produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// The swept parameter's value (trial count, extended-set size, or gate
+    /// budget, depending on the sweep).
+    pub parameter: usize,
+    /// Mean SWAP ratio over the sweep's circuits.
+    pub mean_swap_ratio: f64,
+}
+
+/// All three ablation sweeps of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationReport {
+    /// Device the sweeps ran on.
+    pub device: DeviceKind,
+    /// Mean ratio per SABRE trial count.
+    pub trial_counts: Vec<AblationPoint>,
+    /// Mean ratio per extended-set size.
+    pub extended_set_sizes: Vec<AblationPoint>,
+    /// Mean ratio per two-qubit gate budget (fixed designed SWAP count).
+    pub padding_gate_budgets: Vec<AblationPoint>,
+    /// The designed SWAP count the padding sweep held fixed.
+    pub padding_swap_count: usize,
+}
+
+/// Runs all three ablation sweeps.
+pub fn run_ablations(config: &AblationConfig) -> AblationReport {
+    run_ablations_with_sink(config, &NullSink)
+}
+
+/// [`run_ablations`] with a caller-supplied progress/metrics sink.
+pub fn run_ablations_with_sink(config: &AblationConfig, sink: &dyn ProgressSink) -> AblationReport {
+    let arch = config.device.build();
+    let suite = generate_suite(&arch, &config.suite).expect("suite generation succeeds");
+
+    // Ablation 1: SABRE trial count.
+    let trial_counts = config
+        .trial_counts
+        .iter()
+        .map(|&trials| AblationPoint {
+            parameter: trials,
+            mean_swap_ratio: mean_ratio_on(
+                &arch,
+                &suite,
+                SabreConfig::default()
+                    .with_trials(trials)
+                    .with_seed(config.router_seed),
+                config.threads,
+                sink,
+            ),
+        })
+        .collect();
+
+    // Ablation 2: extended-set size (at a fixed modest trial count).
+    let extended_set_sizes = config
+        .extended_set_sizes
+        .iter()
+        .map(|&size| {
+            let mut sabre = SabreConfig::default()
+                .with_trials(4)
+                .with_seed(config.router_seed);
+            sabre.extended_set_size = size;
+            AblationPoint {
+                parameter: size,
+                mean_swap_ratio: mean_ratio_on(&arch, &suite, sabre, config.threads, sink),
+            }
+        })
+        .collect();
+
+    // Ablation 3: padding (total gate budget) at a fixed optimal SWAP count.
+    let padding_gate_budgets = config
+        .padding_gate_budgets
+        .iter()
+        .map(|&gates| {
+            let padded_suite = generate_suite(
+                &arch,
+                &SuiteConfig {
+                    swap_counts: vec![config.padding_swap_count],
+                    circuits_per_count: config.padding_circuits_per_budget,
+                    two_qubit_gates: gates,
+                    base_seed: config.padding_base_seed,
+                },
+            )
+            .expect("suite generation succeeds");
+            AblationPoint {
+                parameter: gates,
+                mean_swap_ratio: mean_ratio_on(
+                    &arch,
+                    &padded_suite,
+                    SabreConfig::default()
+                        .with_trials(4)
+                        .with_seed(config.router_seed),
+                    config.threads,
+                    sink,
+                ),
+            }
+        })
+        .collect();
+
+    AblationReport {
+        device: config.device,
+        trial_counts,
+        extended_set_sizes,
+        padding_gate_budgets,
+        padding_swap_count: config.padding_swap_count,
+    }
+}
+
+/// Mean SWAP ratio of one router configuration over a suite, computed on the
+/// engine (one job per circuit, one reused router per worker, job-order fold
+/// so the mean is schedule-independent).
+fn mean_ratio_on(
+    arch: &Architecture,
+    suite: &[ExperimentPoint],
+    sabre: SabreConfig,
+    threads: usize,
+    sink: &dyn ProgressSink,
+) -> f64 {
+    let engine = Engine::new(threads).with_base_seed(sabre.seed);
+    let ratios = engine
+        .run_values(
+            suite,
+            |_worker| SabreRouter::new(sabre.clone()),
+            |router, _ctx, point| {
+                let routed = router
+                    .route(point.benchmark.circuit(), arch)
+                    .expect("benchmark fits");
+                validate_routing(point.benchmark.circuit(), arch, &routed).expect("valid");
+                point
+                    .benchmark
+                    .swap_ratio(&routed)
+                    .expect("non-zero optimum")
+            },
+            sink,
+        )
+        .unwrap_or_else(|error| panic!("ablation sweep aborted: {error}"));
+    ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_ablations_cover_every_sweep_point() {
+        let config = AblationConfig::quick().with_threads(2);
+        let report = run_ablations(&config);
+        assert_eq!(report.trial_counts.len(), 2);
+        assert_eq!(report.extended_set_sizes.len(), 2);
+        assert_eq!(report.padding_gate_budgets.len(), 2);
+        for point in report
+            .trial_counts
+            .iter()
+            .chain(&report.extended_set_sizes)
+            .chain(&report.padding_gate_budgets)
+        {
+            assert!(
+                point.mean_swap_ratio >= 1.0 - 1e-9,
+                "ratio below optimum at {point:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reports_identical_across_thread_counts() {
+        let reference = run_ablations(&AblationConfig::quick().with_threads(1));
+        let parallel = run_ablations(&AblationConfig::quick().with_threads(8));
+        assert_eq!(reference, parallel);
+    }
+}

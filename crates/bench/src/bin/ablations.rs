@@ -1,106 +1,24 @@
 //! Design ablations called out in DESIGN.md: how the SABRE trial count and
 //! extended-set size change the optimality gap, and how redundant-gate
-//! padding changes benchmark difficulty.
+//! padding changes benchmark difficulty. The sweeps themselves live in
+//! [`qubikos_bench::ablations`] and run on the shared execution engine.
 //!
 //! ```text
 //! ablations
+//! ablations --threads 8   # explicit worker count (default: all cores)
 //! ```
 
-use qubikos::{generate_suite, SuiteConfig};
-use qubikos_arch::DeviceKind;
-use qubikos_layout::{validate_routing, Router, SabreConfig, SabreRouter};
-
-fn mean(values: &[f64]) -> f64 {
-    values.iter().sum::<f64>() / values.len().max(1) as f64
-}
+use qubikos_bench::ablations::{run_ablations_with_sink, AblationConfig};
+use qubikos_bench::report::render_ablations;
+use qubikos_engine::{threads_from_args, StderrProgress, AUTO_THREADS};
 
 fn main() {
-    let device = DeviceKind::Aspen4;
-    let arch = device.build();
-
-    // Ablation 1: SABRE trial count.
-    let suite = generate_suite(
-        &arch,
-        &SuiteConfig {
-            swap_counts: vec![4, 8],
-            circuits_per_count: 3,
-            two_qubit_gates: 150,
-            base_seed: 21,
-        },
-    )
-    .expect("suite generation succeeds");
-    println!("SABRE trial-count ablation on {}", device.name());
-    for trials in [1usize, 4, 16] {
-        let router = SabreRouter::new(SabreConfig::default().with_trials(trials).with_seed(5));
-        let ratios: Vec<f64> = suite
-            .iter()
-            .map(|point| {
-                let routed = router
-                    .route(point.benchmark.circuit(), &arch)
-                    .expect("benchmark fits");
-                validate_routing(point.benchmark.circuit(), &arch, &routed).expect("valid");
-                point
-                    .benchmark
-                    .swap_ratio(&routed)
-                    .expect("non-zero optimum")
-            })
-            .collect();
-        println!("  trials={trials:<3} mean swap ratio {:.2}x", mean(&ratios));
-    }
-
-    // Ablation 2: extended-set size.
-    println!("SABRE extended-set-size ablation on {}", device.name());
-    for size in [0usize, 5, 20, 40] {
-        let mut config = SabreConfig::default().with_trials(4).with_seed(5);
-        config.extended_set_size = size;
-        let router = SabreRouter::new(config);
-        let ratios: Vec<f64> = suite
-            .iter()
-            .map(|point| {
-                let routed = router
-                    .route(point.benchmark.circuit(), &arch)
-                    .expect("benchmark fits");
-                point
-                    .benchmark
-                    .swap_ratio(&routed)
-                    .expect("non-zero optimum")
-            })
-            .collect();
-        println!(
-            "  extended-set={size:<3} mean swap ratio {:.2}x",
-            mean(&ratios)
-        );
-    }
-
-    // Ablation 3: padding (total gate budget) at a fixed optimal SWAP count.
-    println!("Padding ablation on {} (optimal swaps = 6)", device.name());
-    for gates in [100usize, 200, 400] {
-        let suite = generate_suite(
-            &arch,
-            &SuiteConfig {
-                swap_counts: vec![6],
-                circuits_per_count: 3,
-                two_qubit_gates: gates,
-                base_seed: 33,
-            },
-        )
-        .expect("suite generation succeeds");
-        let router = SabreRouter::new(SabreConfig::default().with_trials(4).with_seed(5));
-        let ratios: Vec<f64> = suite
-            .iter()
-            .map(|point| {
-                let routed = router
-                    .route(point.benchmark.circuit(), &arch)
-                    .expect("benchmark fits");
-                point
-                    .benchmark
-                    .swap_ratio(&routed)
-                    .expect("non-zero optimum")
-            })
-            .collect();
-        println!(
-            "  two-qubit gates={gates:<4} mean swap ratio {:.2}x",
-            mean(&ratios)
-        );
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config =
+        AblationConfig::paper().with_threads(threads_from_args(&args).unwrap_or(AUTO_THREADS));
+    // One sink across all sweeps: each engine run restarts the progress
+    // counter, so the multi-minute paper sweep streams per-run progress.
+    let progress = StderrProgress::new("ablations", 3);
+    let report = run_ablations_with_sink(&config, &progress);
+    print!("{}", render_ablations(&report));
 }

@@ -5,14 +5,19 @@
 //! the metadata a fair evaluation needs: the optimal SWAP count, the optimal
 //! initial mapping, and the generator seed.
 //!
+//! Generation + export runs on the shared execution engine, one job per
+//! instance: `SuiteConfig::instance_seed` makes each job an independent,
+//! order-free unit, so exporting a full Eagle-127 suite parallelizes across
+//! every core while producing byte-identical files to a sequential export.
+//!
 //! ```text
-//! export_suite --arch aspen4 --out qubikos_suite [--full]
+//! export_suite --arch aspen4 --out qubikos_suite [--full] [--threads 8]
 //! ```
 
-use qubikos::{generate_suite, SuiteConfig};
+use qubikos::{generate, GeneratorConfig, SuiteConfig};
 use qubikos_arch::DeviceKind;
 use qubikos_circuit::to_qasm;
-use std::fs;
+use qubikos_engine::{threads_from_args, Engine, StderrProgress, AUTO_THREADS};
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,41 +33,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(DeviceKind::Aspen4);
     let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| "qubikos_suite".to_string()));
     let full = args.iter().any(|a| a == "--full");
+    let threads = threads_from_args(&args).unwrap_or(AUTO_THREADS);
 
     let arch = device.build();
     let mut suite_config = SuiteConfig::paper_evaluation(device);
     if !full {
         suite_config = suite_config.with_circuits_per_count(2);
     }
-    let suite = generate_suite(&arch, &suite_config)?;
+    std::fs::create_dir_all(&out_dir)?;
 
-    fs::create_dir_all(&out_dir)?;
-    for point in &suite {
-        let stem = format!(
-            "{}_swaps{}_inst{}",
-            device.name(),
-            point.swap_count,
-            point.instance
-        );
-        fs::write(
-            out_dir.join(format!("{stem}.qasm")),
-            to_qasm(point.benchmark.circuit()),
-        )?;
-        let metadata = serde_json::json!({
-            "architecture": point.benchmark.architecture(),
-            "optimal_swaps": point.benchmark.optimal_swaps(),
-            "two_qubit_gates": point.benchmark.circuit().two_qubit_gate_count(),
-            "seed": point.seed,
-            "optimal_initial_mapping": point.benchmark.reference_mapping().as_slice(),
-        });
-        fs::write(
-            out_dir.join(format!("{stem}.json")),
-            serde_json::to_string_pretty(&metadata)?,
-        )?;
-    }
+    // One job per instance of the (SWAP count × instance) grid; the derived
+    // per-instance seed makes generation order-independent.
+    let jobs: Vec<(usize, usize)> = suite_config
+        .swap_counts
+        .iter()
+        .enumerate()
+        .flat_map(|(count_index, _)| {
+            (0..suite_config.circuits_per_count).map(move |instance| (count_index, instance))
+        })
+        .collect();
+
+    let progress = StderrProgress::new(format!("export {}", device.name()), 10);
+    let written = Engine::new(threads)
+        .with_base_seed(suite_config.base_seed)
+        .run_values(
+            &jobs,
+            |_worker| (),
+            |(), _ctx, &(count_index, instance)| -> Result<String, String> {
+                let swap_count = suite_config.swap_counts[count_index];
+                let seed = suite_config.instance_seed(count_index, instance);
+                let gen_config =
+                    GeneratorConfig::new(swap_count, suite_config.two_qubit_gates).with_seed(seed);
+                let benchmark =
+                    generate(&arch, &gen_config).map_err(|e| format!("generate: {e:?}"))?;
+                let stem = format!("{}_swaps{}_inst{}", device.name(), swap_count, instance);
+                std::fs::write(
+                    out_dir.join(format!("{stem}.qasm")),
+                    to_qasm(benchmark.circuit()),
+                )
+                .map_err(|e| format!("write {stem}.qasm: {e}"))?;
+                let metadata = serde_json::json!({
+                    "architecture": benchmark.architecture(),
+                    "optimal_swaps": benchmark.optimal_swaps(),
+                    "two_qubit_gates": benchmark.circuit().two_qubit_gate_count(),
+                    "seed": seed,
+                    "optimal_initial_mapping": benchmark.reference_mapping().as_slice(),
+                });
+                let json = serde_json::to_string_pretty(&metadata)
+                    .map_err(|e| format!("serialize {stem}.json: {e}"))?;
+                std::fs::write(out_dir.join(format!("{stem}.json")), json)
+                    .map_err(|e| format!("write {stem}.json: {e}"))?;
+                Ok(stem)
+            },
+            &progress,
+        )
+        .unwrap_or_else(|error| panic!("suite export aborted: {error}"));
+
+    // Surface the first per-job error (job order, so reproducible).
+    let exported = written.into_iter().collect::<Result<Vec<_>, _>>()?;
     println!(
         "wrote {} instances for {} to {}",
-        suite.len(),
+        exported.len(),
         device.name(),
         out_dir.display()
     );

@@ -3,13 +3,15 @@
 //! SWAP counts) to confirm it needs exactly its designed SWAP count.
 //!
 //! ```text
-//! optimality_study          # quick run (5 circuits per SWAP count)
-//! optimality_study --full   # the paper's 100 circuits per SWAP count
-//! optimality_study --smoke  # smallest complete run, used by nightly CI
+//! optimality_study              # quick run (5 circuits per SWAP count)
+//! optimality_study --full       # the paper's 100 circuits per SWAP count
+//! optimality_study --smoke      # smallest complete run, used by nightly CI
+//! optimality_study --threads 8  # explicit worker count (default: all cores)
 //! ```
 
-use qubikos_bench::optimality::{run_optimality_study, OptimalityConfig};
+use qubikos_bench::optimality::{run_optimality_study_with_sink, OptimalityConfig};
 use qubikos_bench::report::render_optimality;
+use qubikos_engine::{threads_from_args, StderrProgress, AUTO_THREADS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,13 +21,15 @@ fn main() {
         OptimalityConfig::smoke()
     } else {
         OptimalityConfig::quick()
-    };
+    }
+    .with_threads(threads_from_args(&args).unwrap_or(AUTO_THREADS));
     eprintln!(
         "verifying {} circuits per device on {:?}...",
         config.suite.total_circuits(),
         config.devices.iter().map(|d| d.name()).collect::<Vec<_>>()
     );
-    let report = run_optimality_study(&config);
+    let progress = StderrProgress::new("optimality study", 50);
+    let report = run_optimality_study_with_sink(&config, &progress);
     print!("{}", render_optimality(&report));
     if report.failures > 0 {
         eprintln!("ERROR: {} circuits failed verification", report.failures);

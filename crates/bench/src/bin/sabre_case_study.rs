@@ -5,11 +5,13 @@
 //! ```text
 //! sabre_case_study                 # Aspen-4, decay 0.7
 //! sabre_case_study --decay 0.5
+//! sabre_case_study --threads 8     # explicit worker count (default: all cores)
 //! ```
 
 use qubikos_arch::DeviceKind;
-use qubikos_bench::case_study::run_case_study;
+use qubikos_bench::case_study::{run_case_study, CaseStudyConfig};
 use qubikos_bench::report::render_case_study;
+use qubikos_engine::{threads_from_args, AUTO_THREADS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,18 +22,28 @@ fn main() {
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.7);
     let full = args.iter().any(|a| a == "--full");
+    let threads = threads_from_args(&args).unwrap_or(AUTO_THREADS);
     // The lookahead effect the paper analyses only shows up once the padding
     // is dense enough to mislead the extended set, so the default run already
     // uses the paper's Aspen-4 gate budget (300 two-qubit gates).
-    let (swap_counts, circuits): (&[usize], usize) = if full {
-        (&[5, 10, 15, 20], 10)
+    let (swap_counts, circuits): (Vec<usize>, usize) = if full {
+        (vec![5, 10, 15, 20], 10)
     } else {
-        (&[4, 8, 12], 3)
+        (vec![4, 8, 12], 3)
     };
     // Aspen-4 with the paper's gate budget, plus Sycamore where routing from
     // the optimal mapping is harder and lookahead weighting actually matters.
     for (device, gates) in [(DeviceKind::Aspen4, 300), (DeviceKind::Sycamore54, 600)] {
-        let outcome = run_case_study(device, swap_counts, circuits, gates, decay, 11);
+        let config = CaseStudyConfig {
+            device,
+            swap_counts: swap_counts.clone(),
+            circuits_per_count: circuits,
+            two_qubit_gates: gates,
+            decay,
+            seed: 11,
+            threads,
+        };
+        let outcome = run_case_study(&config);
         print!("{}", render_case_study(&outcome));
     }
 }

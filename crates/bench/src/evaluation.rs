@@ -1,10 +1,19 @@
 //! The Figure-4 experiment: SWAP-ratio optimality gaps of heuristic tools.
+//!
+//! Execution goes through [`qubikos_engine`]: one job per (tool, circuit)
+//! pair, stolen dynamically by the worker threads, so a slow tool on a big
+//! instance (QMAP on Eagle-127 can take orders of magnitude longer than
+//! t|ket⟩ on the same circuit) never serializes the run the way the old
+//! static chunking did. Each worker builds every router **once** and reuses
+//! it across all of its jobs — routers derive their RNG from their config
+//! seed on every `route` call, so reuse is bit-identical to rebuilding while
+//! skipping the per-circuit allocation and setup cost.
 
 use qubikos::{generate_suite, ExperimentPoint, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
-use qubikos_layout::{validate_routing, ToolKind};
+use qubikos_engine::{Engine, NullSink, ProgressSink, AUTO_THREADS};
+use qubikos_layout::{validate_routing, Router, ToolKind};
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
 
 /// Configuration of one tool-evaluation run (one subfigure of Figure 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -17,20 +26,21 @@ pub struct EvaluationConfig {
     pub tools: Vec<ToolKind>,
     /// Seed handed to every tool (the suite has its own base seed).
     pub tool_seed: u64,
-    /// Number of worker threads; 1 disables parallelism.
+    /// Number of worker threads; [`AUTO_THREADS`] (0) uses every available
+    /// core, 1 disables parallelism. The report is identical either way.
     pub threads: usize,
 }
 
 impl EvaluationConfig {
     /// The paper's full configuration for `device` (10 circuits per SWAP
-    /// count, all four tools).
+    /// count, all four tools), running on every available core.
     pub fn paper(device: DeviceKind) -> Self {
         EvaluationConfig {
             device,
             suite: SuiteConfig::paper_evaluation(device),
             tools: ToolKind::ALL.to_vec(),
             tool_seed: 7,
-            threads: 4,
+            threads: AUTO_THREADS,
         }
     }
 
@@ -42,6 +52,13 @@ impl EvaluationConfig {
         // Keep the large devices affordable: fewer gates, same SWAP counts.
         config.suite.two_qubit_gates = config.suite.two_qubit_gates.min(400);
         config
+    }
+
+    /// Returns the configuration with an explicit thread count
+    /// ([`AUTO_THREADS`] = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -96,54 +113,71 @@ impl EvaluationReport {
 ///
 /// Panics if a tool produces an invalid routing (this would be a bug in the
 /// tool, not a property of the benchmark, and must never be silently
-/// averaged into the results).
+/// averaged into the results). The engine attributes the panic to the exact
+/// (tool, circuit) job that failed.
 pub fn run_tool_evaluation(config: &EvaluationConfig) -> EvaluationReport {
+    run_tool_evaluation_with_sink(config, &NullSink)
+}
+
+/// [`run_tool_evaluation`] with a caller-supplied progress/metrics sink
+/// (stderr streaming in the CLI, per-job timing JSON in nightly CI).
+///
+/// # Panics
+///
+/// As [`run_tool_evaluation`].
+pub fn run_tool_evaluation_with_sink(
+    config: &EvaluationConfig,
+    sink: &dyn ProgressSink,
+) -> EvaluationReport {
     let arch = config.device.build();
     let suite = generate_suite(&arch, &config.suite).expect("suite generation succeeds");
-    let results = Mutex::new(Vec::new());
 
-    let threads = config.threads.max(1);
-    let work: Vec<&ExperimentPoint> = suite.iter().collect();
-    let chunk_size = work.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for chunk in work.chunks(chunk_size.max(1)) {
-            let results = &results;
-            let arch = &arch;
-            let tools = &config.tools;
-            let tool_seed = config.tool_seed;
-            scope.spawn(move || {
-                for point in chunk {
-                    for &tool in tools {
-                        let swaps = route_and_count(tool, tool_seed, point, arch);
-                        results
-                            .lock()
-                            .expect("no worker panicked holding the lock")
-                            .push((tool, point.swap_count, swaps));
-                    }
-                }
-            });
-        }
-    });
+    // One job per (tool, circuit) pair, point-major so the expensive large
+    // instances of different tools interleave across workers.
+    let jobs: Vec<(usize, &ExperimentPoint)> = suite
+        .iter()
+        .flat_map(|point| (0..config.tools.len()).map(move |tool_index| (tool_index, point)))
+        .collect();
 
-    let raw = results
-        .into_inner()
-        .expect("no worker panicked holding the lock");
+    let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
+    let swaps = engine
+        .run_values(
+            &jobs,
+            // Build every router once per worker; `route` reseeds from the
+            // config on every call, so reuse changes nothing but speed.
+            |_worker| {
+                config
+                    .tools
+                    .iter()
+                    .map(|&tool| tool.build(config.tool_seed))
+                    .collect::<Vec<_>>()
+            },
+            |routers, _ctx, &(tool_index, point)| {
+                route_and_count(routers[tool_index].as_ref(), point, &arch)
+            },
+            sink,
+        )
+        .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"));
+
+    // `swaps` is in job-id order (deterministic for any thread count), so
+    // zipping it back against the job list reconstructs the full grid.
     let mut cells = Vec::new();
-    for &tool in &config.tools {
+    for (tool_index, &tool) in config.tools.iter().enumerate() {
         for &count in &config.suite.swap_counts {
-            let swaps: Vec<usize> = raw
+            let cell_swaps: Vec<usize> = jobs
                 .iter()
-                .filter(|(t, c, _)| *t == tool && *c == count)
-                .map(|(_, _, s)| *s)
+                .zip(&swaps)
+                .filter(|((t, point), _)| *t == tool_index && point.swap_count == count)
+                .map(|(_, &s)| s)
                 .collect();
-            if swaps.is_empty() {
+            if cell_swaps.is_empty() {
                 continue;
             }
-            let average_swaps = swaps.iter().sum::<usize>() as f64 / swaps.len() as f64;
+            let average_swaps = cell_swaps.iter().sum::<usize>() as f64 / cell_swaps.len() as f64;
             cells.push(EvaluationCell {
                 tool,
                 optimal_swaps: count,
-                circuits: swaps.len(),
+                circuits: cell_swaps.len(),
                 average_swaps,
                 swap_ratio: average_swaps / count as f64,
             });
@@ -155,13 +189,7 @@ pub fn run_tool_evaluation(config: &EvaluationConfig) -> EvaluationReport {
     }
 }
 
-fn route_and_count(
-    tool: ToolKind,
-    seed: u64,
-    point: &ExperimentPoint,
-    arch: &Architecture,
-) -> usize {
-    let router = tool.build(seed);
+fn route_and_count(router: &dyn Router, point: &ExperimentPoint, arch: &Architecture) -> usize {
     let routed = router
         .route(point.benchmark.circuit(), arch)
         .expect("benchmark circuits always fit their own architecture");
@@ -228,6 +256,20 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
     }
 
+    /// The engine's determinism guarantee at the pipeline level: the whole
+    /// report is byte-identical (same JSON serialization) across thread
+    /// counts, including the auto count.
+    #[test]
+    fn reports_are_byte_identical_across_thread_counts() {
+        let reference = serde_json::to_string(&run_tool_evaluation(&tiny_config().with_threads(1)))
+            .expect("serialize");
+        for threads in [2usize, 8, AUTO_THREADS] {
+            let report = run_tool_evaluation(&tiny_config().with_threads(threads));
+            let json = serde_json::to_string(&report).expect("serialize");
+            assert_eq!(reference, json, "report diverged at threads={threads}");
+        }
+    }
+
     #[test]
     fn aggregate_averages_device_gaps() {
         let report = run_tool_evaluation(&tiny_config());
@@ -243,6 +285,7 @@ mod tests {
         let paper = EvaluationConfig::paper(DeviceKind::Aspen4);
         assert_eq!(paper.tools.len(), 4);
         assert_eq!(paper.suite.two_qubit_gates, 300);
+        assert_eq!(paper.threads, AUTO_THREADS);
         let quick = EvaluationConfig::quick(DeviceKind::Eagle127);
         assert!(quick.suite.two_qubit_gates <= 400);
         assert_eq!(quick.suite.circuits_per_count, 2);

@@ -6,22 +6,31 @@
 //! | Figure 4 (a)–(d): SWAP-ratio optimality gaps of four tools on four devices | [`evaluation::run_tool_evaluation`], `--bin tool_evaluation` |
 //! | Abstract headline gaps (per-tool averages across devices) | [`evaluation::aggregate_by_tool`], printed by `tool_evaluation --all` |
 //! | §IV-C LightSABRE case study (lookahead decay) | [`case_study::run_case_study`], `--bin sabre_case_study` |
-//! | Design ablations (trials, extended-set size, padding) | `--bin ablations`, criterion benches |
+//! | Design ablations (trials, extended-set size, padding) | [`ablations::run_ablations`], `--bin ablations`, criterion benches |
 //!
 //! The library functions return plain data structures so that both the CLI
 //! binaries and the criterion benches can reuse them; [`report`] renders the
 //! tables the paper prints.
+//!
+//! Every pipeline executes on the [`qubikos_engine`] work-stealing executor:
+//! results are identical for any thread count, a `--threads` flag is shared
+//! by all binaries (default: every available core), and per-job timings can
+//! stream to any [`qubikos_engine::ProgressSink`] via the `*_with_sink`
+//! entry points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ablations;
 pub mod case_study;
 pub mod evaluation;
 pub mod optimality;
 pub mod report;
 
-pub use case_study::{run_case_study, CaseStudyOutcome};
+pub use ablations::{run_ablations, AblationConfig, AblationPoint, AblationReport};
+pub use case_study::{run_case_study, CaseStudyConfig, CaseStudyOutcome};
 pub use evaluation::{
-    aggregate_by_tool, run_tool_evaluation, EvaluationCell, EvaluationConfig, EvaluationReport,
+    aggregate_by_tool, run_tool_evaluation, run_tool_evaluation_with_sink, EvaluationCell,
+    EvaluationConfig, EvaluationReport,
 };
 pub use optimality::{run_optimality_study, OptimalityConfig, OptimalityReport};

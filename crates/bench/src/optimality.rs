@@ -10,9 +10,16 @@
 //! * the **exact solver** (`qubikos-exact`, the OLSQ2 substitute) additionally
 //!   searches for a cheaper routing on instances small enough for exhaustive
 //!   search, providing a fully independent confirmation.
+//!
+//! Both checks are embarrassingly parallel and their runtimes are wildly
+//! skewed (an exhaustive SWAP-3 search costs orders of magnitude more than a
+//! certificate check), so the study runs on the [`qubikos_engine`]
+//! work-stealing executor: one job per circuit, one exact solver per worker,
+//! and a report that is identical for any thread count.
 
 use qubikos::{generate_suite, verify_certificate, SuiteConfig};
-use qubikos_arch::DeviceKind;
+use qubikos_arch::{Architecture, DeviceKind};
+use qubikos_engine::{Engine, NullSink, ProgressSink, AUTO_THREADS};
 use qubikos_exact::{ExactConfig, ExactSolver};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +36,9 @@ pub struct OptimalityConfig {
     /// Only run the exact solver on instances with at most this designed SWAP
     /// count (its runtime grows exponentially with the count).
     pub exact_swap_limit: usize,
+    /// Number of worker threads; [`AUTO_THREADS`] (0) uses every available
+    /// core. The report is identical for any value.
+    pub threads: usize,
 }
 
 impl OptimalityConfig {
@@ -39,6 +49,7 @@ impl OptimalityConfig {
             suite: SuiteConfig::paper_optimality_study(),
             exact: ExactConfig::default(),
             exact_swap_limit: 2,
+            threads: AUTO_THREADS,
         }
     }
 
@@ -65,7 +76,15 @@ impl OptimalityConfig {
             },
             exact: ExactConfig::default(),
             exact_swap_limit: 3,
+            threads: AUTO_THREADS,
         }
+    }
+
+    /// Returns the configuration with an explicit thread count
+    /// ([`AUTO_THREADS`] = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -84,9 +103,59 @@ pub struct OptimalityReport {
     pub failures: usize,
 }
 
+/// Per-circuit outcome of the two verification stages, produced by one
+/// engine job and folded into the report in job order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CircuitVerdict {
+    /// Certificate check failed; the exact solver was not consulted.
+    CertificateFailed,
+    /// Certificate held; the instance was above the exact-solver SWAP limit.
+    CertifiedOnly,
+    /// Certificate held and the exhaustive search confirmed the optimum.
+    ExactlyConfirmed,
+    /// Certificate held but the exhaustive search found a different optimum.
+    ExactMismatch,
+    /// Certificate held; the exhaustive search exceeded its budget.
+    ExactBudgetExceeded,
+}
+
 /// Runs the optimality study.
 pub fn run_optimality_study(config: &OptimalityConfig) -> OptimalityReport {
-    let solver = ExactSolver::new(config.exact);
+    run_optimality_study_with_sink(config, &NullSink)
+}
+
+/// [`run_optimality_study`] with a caller-supplied progress/metrics sink.
+pub fn run_optimality_study_with_sink(
+    config: &OptimalityConfig,
+    sink: &dyn ProgressSink,
+) -> OptimalityReport {
+    // Generate all suites first (generation is cheap and sequential so the
+    // suites stay identical to the sequential study), then verify every
+    // circuit of every device as one flat worklist.
+    let suites: Vec<(Architecture, Vec<qubikos::ExperimentPoint>)> = config
+        .devices
+        .iter()
+        .map(|&device| {
+            let arch = device.build();
+            let suite = generate_suite(&arch, &config.suite).expect("suite generation succeeds");
+            (arch, suite)
+        })
+        .collect();
+    let jobs: Vec<(&Architecture, &qubikos::ExperimentPoint)> = suites
+        .iter()
+        .flat_map(|(arch, suite)| suite.iter().map(move |point| (arch, point)))
+        .collect();
+
+    let engine = Engine::new(config.threads).with_base_seed(config.suite.base_seed);
+    let verdicts = engine
+        .run_values(
+            &jobs,
+            |_worker| ExactSolver::new(config.exact),
+            |solver, _ctx, &(arch, point)| verify_point(solver, config, arch, point),
+            sink,
+        )
+        .unwrap_or_else(|error| panic!("optimality study aborted: {error}"));
+
     let mut report = OptimalityReport {
         circuits: 0,
         certified: 0,
@@ -94,42 +163,61 @@ pub fn run_optimality_study(config: &OptimalityConfig) -> OptimalityReport {
         exact_budget_exceeded: 0,
         failures: 0,
     };
-    for &device in &config.devices {
-        let arch = device.build();
-        let suite = generate_suite(&arch, &config.suite).expect("suite generation succeeds");
-        for point in &suite {
-            report.circuits += 1;
-            if verify_certificate(&point.benchmark, &arch).is_ok() {
+    for verdict in verdicts {
+        report.circuits += 1;
+        match verdict {
+            CircuitVerdict::CertificateFailed => report.failures += 1,
+            CircuitVerdict::CertifiedOnly => report.certified += 1,
+            CircuitVerdict::ExactlyConfirmed => {
                 report.certified += 1;
-            } else {
-                report.failures += 1;
-                continue;
+                report.exactly_confirmed += 1;
             }
-            if point.swap_count <= config.exact_swap_limit {
-                let result = solver.solve(point.benchmark.circuit(), &arch);
-                match result.optimal_swaps {
-                    Some(optimal) if result.proven => {
-                        if optimal == point.benchmark.optimal_swaps() {
-                            report.exactly_confirmed += 1;
-                        } else {
-                            report.failures += 1;
-                        }
-                    }
-                    _ => report.exact_budget_exceeded += 1,
-                }
+            CircuitVerdict::ExactMismatch => {
+                report.certified += 1;
+                report.failures += 1;
+            }
+            CircuitVerdict::ExactBudgetExceeded => {
+                report.certified += 1;
+                report.exact_budget_exceeded += 1;
             }
         }
     }
     report
 }
 
+/// Verifies one circuit: certificate always, exhaustive exact solver when
+/// the designed SWAP count is within the configured limit.
+fn verify_point(
+    solver: &mut ExactSolver,
+    config: &OptimalityConfig,
+    arch: &Architecture,
+    point: &qubikos::ExperimentPoint,
+) -> CircuitVerdict {
+    if verify_certificate(&point.benchmark, arch).is_err() {
+        return CircuitVerdict::CertificateFailed;
+    }
+    if point.swap_count > config.exact_swap_limit {
+        return CircuitVerdict::CertifiedOnly;
+    }
+    let result = solver.solve(point.benchmark.circuit(), arch);
+    match result.optimal_swaps {
+        Some(optimal) if result.proven => {
+            if optimal == point.benchmark.optimal_swaps() {
+                CircuitVerdict::ExactlyConfirmed
+            } else {
+                CircuitVerdict::ExactMismatch
+            }
+        }
+        _ => CircuitVerdict::ExactBudgetExceeded,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn tiny_study_confirms_optimality() {
-        let config = OptimalityConfig {
+    fn tiny_config() -> OptimalityConfig {
+        OptimalityConfig {
             devices: vec![DeviceKind::Grid3x3],
             suite: SuiteConfig {
                 swap_counts: vec![1, 2],
@@ -142,8 +230,13 @@ mod tests {
                 node_budget: 10_000_000,
             },
             exact_swap_limit: 1,
-        };
-        let report = run_optimality_study(&config);
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn tiny_study_confirms_optimality() {
+        let report = run_optimality_study(&tiny_config());
         assert_eq!(report.circuits, 4);
         assert_eq!(report.certified, 4);
         assert_eq!(report.failures, 0);
@@ -151,11 +244,23 @@ mod tests {
         assert!(report.exactly_confirmed + report.exact_budget_exceeded >= 1);
     }
 
+    /// The study, previously fully sequential, must produce the identical
+    /// report now that it runs on the engine — at any thread count.
+    #[test]
+    fn reports_identical_across_thread_counts() {
+        let reference = run_optimality_study(&tiny_config().with_threads(1));
+        for threads in [2usize, 8, AUTO_THREADS] {
+            let report = run_optimality_study(&tiny_config().with_threads(threads));
+            assert_eq!(report, reference, "report diverged at threads={threads}");
+        }
+    }
+
     #[test]
     fn configs_have_expected_shape() {
         let paper = OptimalityConfig::paper();
         assert_eq!(paper.suite.circuits_per_count, 100);
         assert_eq!(paper.devices.len(), 2);
+        assert_eq!(paper.threads, AUTO_THREADS);
         let quick = OptimalityConfig::quick();
         assert_eq!(quick.suite.circuits_per_count, 5);
         let smoke = OptimalityConfig::smoke();

@@ -1,6 +1,7 @@
 //! Plain-text rendering of experiment reports, mirroring the rows the paper
 //! plots in Figure 4 and quotes in the text.
 
+use crate::ablations::AblationReport;
 use crate::case_study::CaseStudyOutcome;
 use crate::evaluation::EvaluationReport;
 use crate::optimality::OptimalityReport;
@@ -86,9 +87,46 @@ pub fn render_case_study(outcome: &CaseStudyOutcome) -> String {
     )
 }
 
+/// Renders the three ablation sweeps as the tables the `ablations` binary
+/// prints.
+pub fn render_ablations(report: &AblationReport) -> String {
+    let mut out = String::new();
+    let device = report.device.name();
+    let _ = writeln!(out, "SABRE trial-count ablation on {device}");
+    for point in &report.trial_counts {
+        let _ = writeln!(
+            out,
+            "  trials={:<3} mean swap ratio {:.2}x",
+            point.parameter, point.mean_swap_ratio
+        );
+    }
+    let _ = writeln!(out, "SABRE extended-set-size ablation on {device}");
+    for point in &report.extended_set_sizes {
+        let _ = writeln!(
+            out,
+            "  extended-set={:<3} mean swap ratio {:.2}x",
+            point.parameter, point.mean_swap_ratio
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Padding ablation on {device} (optimal swaps = {})",
+        report.padding_swap_count
+    );
+    for point in &report.padding_gate_budgets {
+        let _ = writeln!(
+            out,
+            "  two-qubit gates={:<4} mean swap ratio {:.2}x",
+            point.parameter, point.mean_swap_ratio
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ablations::AblationPoint;
     use crate::evaluation::EvaluationCell;
     use qubikos_arch::DeviceKind;
 
@@ -160,5 +198,29 @@ mod tests {
         });
         assert!(text.contains("uniform lookahead"));
         assert!(text.contains("decay 0.7"));
+    }
+
+    #[test]
+    fn ablation_tables_render_every_sweep() {
+        let text = render_ablations(&AblationReport {
+            device: DeviceKind::Aspen4,
+            trial_counts: vec![AblationPoint {
+                parameter: 4,
+                mean_swap_ratio: 1.5,
+            }],
+            extended_set_sizes: vec![AblationPoint {
+                parameter: 20,
+                mean_swap_ratio: 1.3,
+            }],
+            padding_gate_budgets: vec![AblationPoint {
+                parameter: 200,
+                mean_swap_ratio: 1.8,
+            }],
+            padding_swap_count: 6,
+        });
+        assert!(text.contains("trials=4"));
+        assert!(text.contains("extended-set=20"));
+        assert!(text.contains("two-qubit gates=200"));
+        assert!(text.contains("optimal swaps = 6"));
     }
 }

@@ -1,0 +1,87 @@
+//! Thread-count resolution shared by every pipeline and CLI.
+//!
+//! The whole workspace uses one convention: a thread count of
+//! [`AUTO_THREADS`] (`0`) means "use every core the OS reports"
+//! ([`std::thread::available_parallelism`]), and any positive value is an
+//! explicit override. Configs store the raw value so they serialize
+//! portably; resolution to a concrete count happens only at run time.
+
+/// Sentinel thread count meaning "resolve to [`available_threads`] at run
+/// time". Stored in configs instead of a resolved count so that a config
+/// serialized on a 128-core machine does not pin a 4-core machine to 128
+/// threads.
+pub const AUTO_THREADS: usize = 0;
+
+/// Number of hardware threads the OS reports, with a floor of 1 (the query
+/// can fail on exotic platforms, in which case serial execution is the only
+/// safe answer).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a requested thread count: [`AUTO_THREADS`] becomes
+/// [`available_threads`], anything else is used as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == AUTO_THREADS {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Parses the shared `--threads N` CLI flag out of pre-collected arguments.
+///
+/// Returns `None` when the flag is absent (callers then fall back to
+/// [`AUTO_THREADS`]). A present flag with a missing or non-numeric value is
+/// a usage error and panics with a usage message, matching how the bench
+/// binaries treat malformed flags.
+pub fn threads_from_args(args: &[String]) -> Option<usize> {
+    let position = args.iter().position(|a| a == "--threads")?;
+    let value = args
+        .get(position + 1)
+        .unwrap_or_else(|| panic!("--threads requires a value (a positive integer or 0 for auto)"));
+    let threads = value
+        .parse::<usize>()
+        .unwrap_or_else(|_| panic!("--threads value `{value}` is not a non-negative integer"));
+    Some(threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn auto_resolves_to_available_parallelism() {
+        assert_eq!(resolve_threads(AUTO_THREADS), available_threads());
+        assert!(resolve_threads(AUTO_THREADS) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        assert_eq!(threads_from_args(&args(&["--full"])), None);
+        assert_eq!(threads_from_args(&args(&["--threads", "8"])), Some(8));
+        assert_eq!(
+            threads_from_args(&args(&["--full", "--threads", "0"])),
+            Some(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads requires a value")]
+    fn missing_threads_value_panics() {
+        threads_from_args(&args(&["--threads"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a non-negative integer")]
+    fn malformed_threads_value_panics() {
+        threads_from_args(&args(&["--threads", "many"]));
+    }
+}

@@ -67,6 +67,16 @@ impl SuiteConfig {
     pub fn total_circuits(&self) -> usize {
         self.swap_counts.len() * self.circuits_per_count
     }
+
+    /// The seed instance `(count_index, instance)` of this suite is generated
+    /// from. A pure function of the config and the grid coordinates, so
+    /// callers that generate instances out of order (e.g. a parallel
+    /// exporter) produce exactly the circuits [`generate_suite`] would.
+    pub fn instance_seed(&self, count_index: usize, instance: usize) -> u64 {
+        self.base_seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add((count_index * self.circuits_per_count + instance) as u64)
+    }
 }
 
 /// One generated instance along with the grid coordinates it was generated
@@ -97,10 +107,7 @@ pub fn generate_suite(
     let mut points = Vec::with_capacity(config.total_circuits());
     for (count_index, &swap_count) in config.swap_counts.iter().enumerate() {
         for instance in 0..config.circuits_per_count {
-            let seed = config
-                .base_seed
-                .wrapping_mul(1_000_003)
-                .wrapping_add((count_index * config.circuits_per_count + instance) as u64);
+            let seed = config.instance_seed(count_index, instance);
             let gen_config =
                 GeneratorConfig::new(swap_count, config.two_qubit_gates).with_seed(seed);
             let benchmark = generate(arch, &gen_config)?;

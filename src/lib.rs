@@ -12,10 +12,13 @@
 //! * [`qubikos_layout`] — heuristic layout-synthesis tools under evaluation
 //! * [`qubikos_exact`] — exact minimal-SWAP solver (OLSQ2 substitute)
 //! * [`qubikos`] — the QUBIKOS benchmark generator itself
+//! * [`qubikos_engine`] — deterministic work-stealing executor all experiment
+//!   pipelines run on
 
 pub use qubikos;
 pub use qubikos_arch;
 pub use qubikos_circuit;
+pub use qubikos_engine;
 pub use qubikos_exact;
 pub use qubikos_graph;
 pub use qubikos_layout;
