@@ -3,9 +3,34 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qubikos::{generate, GeneratorConfig};
-use qubikos_arch::DeviceKind;
+use qubikos_arch::{devices, DeviceKind};
 use qubikos_layout::ToolKind;
 use std::hint::black_box;
+
+/// Per-router micro-bench on the fixed grid(4,4) workload — the same
+/// instance `router_bench` times in nightly CI (`router_timings.json`), so
+/// criterion numbers and the nightly trend line are directly comparable.
+/// This grid workload is the routing-kernel speedup gate: PR-over-PR
+/// regressions in the shared kernel (front tracking, incremental scoring)
+/// show up here first.
+fn bench_tools_on_grid4x4(c: &mut Criterion) {
+    let arch = devices::grid(4, 4);
+    let bench_circuit =
+        generate(&arch, &GeneratorConfig::new(4, 120).with_seed(9)).expect("generates");
+    let mut group = c.benchmark_group("route_grid4x4_120g_4swaps");
+    group.sample_size(10);
+    for tool in ToolKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tool.name()),
+            &tool,
+            |b, &tool| {
+                let router = tool.build(7);
+                b.iter(|| black_box(router.route(bench_circuit.circuit(), &arch).expect("fits")));
+            },
+        );
+    }
+    group.finish();
+}
 
 fn bench_tools_on_aspen(c: &mut Criterion) {
     let arch = DeviceKind::Aspen4.build();
@@ -49,5 +74,10 @@ fn bench_sabre_across_devices(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tools_on_aspen, bench_sabre_across_devices);
+criterion_group!(
+    benches,
+    bench_tools_on_grid4x4,
+    bench_tools_on_aspen,
+    bench_sabre_across_devices
+);
 criterion_main!(benches);

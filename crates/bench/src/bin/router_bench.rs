@@ -1,0 +1,107 @@
+//! Router micro-benchmark smoke for nightly CI.
+//!
+//! Times every QLS tool on the fixed grid(4,4) workload (the same instance
+//! the `routers` criterion bench uses) and writes a `router_timings.json`
+//! report, so the routing kernel's performance trajectory is measurable
+//! PR-over-PR next to the engine's `engine_timings.json` artifact.
+//!
+//! ```text
+//! router_bench                                # print the timing table
+//! router_bench --json router_timings.json    # also export JSON
+//! router_bench --samples 25                  # more samples per tool
+//! ```
+
+use qubikos::{generate, GeneratorConfig};
+use qubikos_arch::devices;
+use qubikos_layout::ToolKind;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One tool's timing row in the JSON export (durations in nanoseconds).
+#[derive(Debug, Serialize)]
+struct RouterTiming {
+    tool: String,
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    samples: usize,
+    /// SWAPs inserted on the workload — pins the quality side so a "speedup"
+    /// that silently trades SWAP count for time is visible in the same file.
+    swap_count: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--json requires an output path"));
+        assert!(
+            !value.starts_with("--"),
+            "--json requires an output path, found flag `{value}`"
+        );
+        value.clone()
+    });
+    let samples: usize = args
+        .iter()
+        .position(|a| a == "--samples")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--samples requires a count"))
+                .parse()
+                .expect("--samples takes a positive integer")
+        })
+        .unwrap_or(15)
+        .max(3);
+
+    // The same fixed workload as the `route_grid4x4_120g_4swaps` criterion
+    // group: a 4-SWAP/120-gate QUBIKOS instance on grid(4,4), seed 9.
+    let arch = devices::grid(4, 4);
+    let workload =
+        generate(&arch, &GeneratorConfig::new(4, 120).with_seed(9)).expect("workload generates");
+
+    let mut rows = Vec::new();
+    println!("router timings on grid-4x4 (120 two-qubit gates, designed 4 SWAPs)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>8}",
+        "tool", "median", "min", "max", "swaps"
+    );
+    for tool in ToolKind::ALL {
+        let router = tool.build(7);
+        // Warm-up run, also the SWAP-count witness.
+        let routed = router.route(workload.circuit(), &arch).expect("fits");
+        let mut times: Vec<u64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                let result = router.route(workload.circuit(), &arch).expect("fits");
+                let nanos = start.elapsed().as_nanos() as u64;
+                std::hint::black_box(result);
+                nanos
+            })
+            .collect();
+        times.sort_unstable();
+        let row = RouterTiming {
+            tool: tool.name().to_string(),
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            max_ns: times[times.len() - 1],
+            samples,
+            swap_count: routed.swap_count(),
+        };
+        println!(
+            "{:<12} {:>9.3} ms {:>9.3} ms {:>9.3} ms {:>8}",
+            row.tool,
+            row.median_ns as f64 / 1e6,
+            row.min_ns as f64 / 1e6,
+            row.max_ns as f64 / 1e6,
+            row.swap_count
+        );
+        rows.push(row);
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&rows).expect("timings serialize");
+        std::fs::write(&path, json).expect("timing JSON is writable");
+        eprintln!("wrote router timings to {path}");
+    }
+}

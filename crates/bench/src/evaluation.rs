@@ -216,6 +216,8 @@ pub fn aggregate_by_tool(reports: &[EvaluationReport]) -> Vec<(ToolKind, f64)> {
 mod tests {
     use super::*;
 
+    /// All four (kernel-based) routers, so the invariance tests below cover
+    /// every tool, not just the fast pair.
     fn tiny_config() -> EvaluationConfig {
         EvaluationConfig {
             device: DeviceKind::Grid3x3,
@@ -225,7 +227,7 @@ mod tests {
                 two_qubit_gates: 20,
                 base_seed: 5,
             },
-            tools: vec![ToolKind::LightSabre, ToolKind::Tket],
+            tools: ToolKind::ALL.to_vec(),
             tool_seed: 1,
             threads: 2,
         }
@@ -234,7 +236,7 @@ mod tests {
     #[test]
     fn evaluation_produces_one_cell_per_tool_and_count() {
         let report = run_tool_evaluation(&tiny_config());
-        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.cells.len(), 8);
         for cell in &report.cells {
             assert_eq!(cell.circuits, 2);
             assert!(
@@ -242,9 +244,10 @@ mod tests {
                 "ratio below optimum: {cell:?}"
             );
         }
-        assert_eq!(report.cells_for(ToolKind::LightSabre).len(), 2);
-        assert!(report.device_gap(ToolKind::LightSabre).is_some());
-        assert!(report.device_gap(ToolKind::Qmap).is_none());
+        for tool in ToolKind::ALL {
+            assert_eq!(report.cells_for(tool).len(), 2);
+            assert!(report.device_gap(tool).is_some());
+        }
     }
 
     #[test]
@@ -274,7 +277,7 @@ mod tests {
     fn aggregate_averages_device_gaps() {
         let report = run_tool_evaluation(&tiny_config());
         let aggregate = aggregate_by_tool(std::slice::from_ref(&report));
-        assert_eq!(aggregate.len(), 2);
+        assert_eq!(aggregate.len(), 4);
         for (_, gap) in aggregate {
             assert!(gap >= 1.0 - 1e-9);
         }

@@ -7,7 +7,7 @@
 //! from `g` to `g'` therefore means `g` must execute before `g'`.
 
 use crate::circuit::Circuit;
-use crate::gate::Gate;
+use crate::gate::{Gate, QubitId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -33,6 +33,9 @@ pub struct DependencyDag {
     gates: Vec<Gate>,
     /// For each node, the circuit index of the gate it represents.
     circuit_indices: Vec<usize>,
+    /// For each node, its gate's qubit pair (precomputed so routing inner
+    /// loops avoid the per-access `Option` unwrap of [`Gate::qubit_pair`]).
+    qubit_pairs: Vec<(QubitId, QubitId)>,
     successors: Vec<Vec<DagNodeId>>,
     predecessors: Vec<Vec<DagNodeId>>,
 }
@@ -42,6 +45,7 @@ impl DependencyDag {
     pub fn from_circuit(circuit: &Circuit) -> Self {
         let mut gates = Vec::new();
         let mut circuit_indices = Vec::new();
+        let mut qubit_pairs = Vec::new();
         let mut successors: Vec<Vec<DagNodeId>> = Vec::new();
         let mut predecessors: Vec<Vec<DagNodeId>> = Vec::new();
         let mut last_on_qubit: Vec<Option<DagNodeId>> = vec![None; circuit.num_qubits()];
@@ -53,9 +57,10 @@ impl DependencyDag {
             let node = gates.len();
             gates.push(*gate);
             circuit_indices.push(ci);
+            let (a, b) = gate.qubit_pair().expect("two-qubit gate");
+            qubit_pairs.push((a, b));
             successors.push(Vec::new());
             predecessors.push(Vec::new());
-            let (a, b) = gate.qubit_pair().expect("two-qubit gate");
             for q in [a, b] {
                 if let Some(prev) = last_on_qubit[q] {
                     if !successors[prev].contains(&node) {
@@ -70,6 +75,7 @@ impl DependencyDag {
         DependencyDag {
             gates,
             circuit_indices,
+            qubit_pairs,
             successors,
             predecessors,
         }
@@ -97,6 +103,18 @@ impl DependencyDag {
     /// All gates in node order (which is program order).
     pub fn gates(&self) -> &[Gate] {
         &self.gates
+    }
+
+    /// The qubit pair of node `i`'s gate, without the `Option` round-trip of
+    /// [`Gate::qubit_pair`] (every DAG node is a two-qubit gate by
+    /// construction). Routing inner loops call this per decision, so it is
+    /// precomputed at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn qubit_pair(&self, i: DagNodeId) -> (QubitId, QubitId) {
+        self.qubit_pairs[i]
     }
 
     /// The index of node `i`'s gate in the original circuit.
@@ -321,6 +339,14 @@ mod tests {
         assert_eq!(layers.len(), 2);
         assert_eq!(layers[0], vec![0, 1]);
         assert_eq!(layers[1], vec![2, 3]);
+    }
+
+    #[test]
+    fn qubit_pair_matches_gate() {
+        let dag = DependencyDag::from_circuit(&chain());
+        for i in 0..dag.len() {
+            assert_eq!(Some(dag.qubit_pair(i)), dag.gate(i).qubit_pair());
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod metrics;
 pub mod qasm;
 
 pub use circuit::Circuit;
-pub use dag::DependencyDag;
-pub use gate::{Gate, OneQubitKind, TwoQubitKind};
+pub use dag::{DagNodeId, DependencyDag};
+pub use gate::{Gate, OneQubitKind, QubitId, TwoQubitKind};
 pub use metrics::CircuitStats;
 pub use qasm::{parse_qasm, to_qasm, ParseQasmError};

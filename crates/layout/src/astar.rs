@@ -9,13 +9,18 @@
 //! excess distance of the layer's gates. When the node budget runs out the
 //! search falls back to the best partial state found so far and continues
 //! greedily, so routing always terminates.
+//!
+//! The circuit-derived state (dependency DAG, layering, single-qubit gate
+//! schedule) comes from [`crate::kernel`]; the per-layer search is the
+//! QMAP-specific policy this module keeps.
 
+use crate::kernel::{check_fit, RoutingProblem};
 use crate::mapping::Mapping;
 use crate::placement::greedy_bfs_placement;
 use crate::result::RoutedCircuit;
 use crate::router::{RouteError, Router};
 use qubikos_arch::Architecture;
-use qubikos_circuit::{Circuit, DependencyDag, Gate};
+use qubikos_circuit::{Circuit, Gate};
 use qubikos_graph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -63,24 +68,18 @@ impl AStarRouter {
 
 impl Router for AStarRouter {
     fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
-        if circuit.num_qubits() > arch.num_qubits() {
-            return Err(RouteError::TooManyQubits {
-                program: circuit.num_qubits(),
-                physical: arch.num_qubits(),
-            });
-        }
+        check_fit(circuit, arch)?;
         let initial = greedy_bfs_placement(circuit, arch);
         let mut mapping = initial.clone();
-        let dag = DependencyDag::from_circuit(circuit);
-        let (attached, trailing) = super::sabre::attach_for_router(circuit, &dag);
+        let problem = RoutingProblem::forward_only(circuit);
+        let view = problem.forward();
+        let dag = view.dag();
         let mut out = Circuit::new(arch.num_qubits());
 
         for layer in dag.layers() {
             // Find a SWAP sequence that makes every gate of this layer executable.
-            let pairs: Vec<(usize, usize)> = layer
-                .iter()
-                .map(|&node| dag.gate(node).qubit_pair().expect("two-qubit gate"))
-                .collect();
+            let pairs: Vec<(usize, usize)> =
+                layer.iter().map(|&node| dag.qubit_pair(node)).collect();
             let swaps = self.solve_layer(&pairs, arch, &mapping);
 
             // Gates within a layer act on disjoint qubits, so each one can be
@@ -94,10 +93,7 @@ impl Router for AStarRouter {
                     }
                     let (a, b) = pairs[k];
                     if arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
-                        for g in &attached[node] {
-                            out.push(g.map_qubits(|q| mapping.physical(q)));
-                        }
-                        out.push(dag.gate(node).map_qubits(|q| mapping.physical(q)));
+                        view.emit(node, mapping, out);
                         emitted[k] = true;
                     }
                 }
@@ -115,27 +111,13 @@ impl Router for AStarRouter {
                     continue;
                 }
                 let (a, b) = pairs[k];
-                while !arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
-                    let pa = mapping.physical(a);
-                    let pb = mapping.physical(b);
-                    let next = arch
-                        .neighbors(pa)
-                        .iter()
-                        .copied()
-                        .min_by_key(|&n| arch.distance(n, pb))
-                        .expect("connected architecture");
-                    out.push(Gate::swap(pa, next));
-                    mapping.apply_swap_physical(pa, next);
-                }
-                for g in &attached[node] {
-                    out.push(g.map_qubits(|q| mapping.physical(q)));
-                }
-                out.push(dag.gate(node).map_qubits(|q| mapping.physical(q)));
+                crate::kernel::force_adjacent(arch, &mut mapping, a, b, |u, v| {
+                    out.push(Gate::swap(u, v));
+                });
+                view.emit(node, &mapping, &mut out);
             }
         }
-        for gate in &trailing {
-            out.push(gate.map_qubits(|q| mapping.physical(q)));
-        }
+        view.emit_trailing(&mapping, &mut out);
 
         Ok(RoutedCircuit {
             physical_circuit: out,

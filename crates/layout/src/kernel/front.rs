@@ -1,0 +1,238 @@
+//! Front-layer tracking shared by every router.
+//!
+//! A [`FrontTracker`] owns the execution front of a [`DependencyDag`]: the
+//! set of two-qubit gates whose predecessors have all executed, plus the
+//! remaining-predecessor counts that define it. It also computes the
+//! LightSABRE extended set (a BFS over the gates reachable from the front)
+//! using recycled scratch buffers, so the per-decision cost is bounded by
+//! the number of nodes the BFS touches rather than the DAG size.
+
+use crate::kernel::scratch::{ShadowCounts, StampSet};
+use qubikos_circuit::{DagNodeId, DependencyDag};
+use std::collections::VecDeque;
+
+/// Reusable front-layer state for one routing pass.
+///
+/// One tracker can be reset and reused across passes and trials — all
+/// internal buffers (front vectors, BFS queue, visited stamps) keep their
+/// allocations across [`FrontTracker::reset`] calls.
+#[derive(Debug, Clone, Default)]
+pub struct FrontTracker {
+    /// `remaining_preds[n]` = predecessors of `n` that have not executed.
+    remaining_preds: Vec<usize>,
+    /// Current execution front, in the order the SABRE loop advances it
+    /// (blocked gates and newly enabled successors interleave).
+    front: Vec<DagNodeId>,
+    /// Previous front, recycled as iteration scratch by [`Self::advance`].
+    scratch: Vec<DagNodeId>,
+    /// Output buffer of [`Self::extended_set`].
+    extended: Vec<DagNodeId>,
+    /// BFS predecessor-count overlay (copy-on-touch over `remaining_preds`).
+    ext_counts: ShadowCounts,
+    /// BFS visited set.
+    ext_seen: StampSet,
+    /// BFS queue.
+    ext_queue: VecDeque<DagNodeId>,
+}
+
+impl FrontTracker {
+    /// A tracker with no circuit attached; call [`Self::reset`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Points the tracker at (the start of) `dag`, recycling all buffers.
+    pub fn reset(&mut self, dag: &DependencyDag) {
+        self.remaining_preds.clear();
+        self.remaining_preds
+            .extend((0..dag.len()).map(|n| dag.predecessors(n).len()));
+        self.front.clear();
+        self.front
+            .extend((0..dag.len()).filter(|&n| dag.predecessors(n).is_empty()));
+    }
+
+    /// The current execution front.
+    pub fn front(&self) -> &[DagNodeId] {
+        &self.front
+    }
+
+    /// Returns `true` when every two-qubit gate has executed.
+    pub fn is_done(&self) -> bool {
+        self.front.is_empty()
+    }
+
+    /// Executes every front gate for which `is_ready` holds, calling
+    /// `on_execute` for each in front order, and advances the front:
+    /// successors whose last predecessor just executed join the front in
+    /// place of the executed gate, blocked gates stay. Returns `true` if at
+    /// least one gate executed.
+    pub fn advance(
+        &mut self,
+        dag: &DependencyDag,
+        mut is_ready: impl FnMut(DagNodeId) -> bool,
+        mut on_execute: impl FnMut(DagNodeId),
+    ) -> bool {
+        std::mem::swap(&mut self.front, &mut self.scratch);
+        self.front.clear();
+        let mut executed_any = false;
+        for i in 0..self.scratch.len() {
+            let node = self.scratch[i];
+            if is_ready(node) {
+                on_execute(node);
+                executed_any = true;
+                for &s in dag.successors(node) {
+                    self.remaining_preds[s] -= 1;
+                    if self.remaining_preds[s] == 0 {
+                        self.front.push(s);
+                    }
+                }
+            } else {
+                self.front.push(node);
+            }
+        }
+        executed_any
+    }
+
+    /// Collects up to `limit` gates reachable from the front layer, in BFS
+    /// order over the DAG — the LightSABRE extended set. The returned slice
+    /// is valid until the next call on this tracker.
+    pub fn extended_set(&mut self, dag: &DependencyDag, limit: usize) -> &[DagNodeId] {
+        self.compute_extended_set(dag, limit);
+        self.extended()
+    }
+
+    /// The extended set computed by the last
+    /// [`Self::compute_extended_set`]/[`Self::extended_set`] call.
+    pub fn extended(&self) -> &[DagNodeId] {
+        &self.extended
+    }
+
+    /// [`Self::extended_set`] without returning the slice, so callers can
+    /// re-borrow the tracker shared (for [`Self::front`]/[`Self::extended`])
+    /// immediately afterwards.
+    pub fn compute_extended_set(&mut self, dag: &DependencyDag, limit: usize) {
+        self.extended.clear();
+        if limit == 0 {
+            return;
+        }
+        self.ext_counts.reset(dag.len());
+        self.ext_seen.reset(dag.len());
+        self.ext_queue.clear();
+        for &f in &self.front {
+            self.ext_seen.insert(f);
+            self.ext_queue.push_back(f);
+        }
+        while let Some(node) = self.ext_queue.pop_front() {
+            for &s in dag.successors(node) {
+                let remaining = self
+                    .ext_counts
+                    .saturating_decrement(s, &self.remaining_preds);
+                if remaining == 0 && self.ext_seen.insert(s) {
+                    self.extended.push(s);
+                    if self.extended.len() >= limit {
+                        return;
+                    }
+                    self.ext_queue.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubikos_circuit::{Circuit, Gate};
+
+    fn diamond() -> DependencyDag {
+        // g0(0,1) -> g2(1,2); g1(2,3) -> g2; g2 -> g3(0,3)? g3 depends on g0
+        // (qubit 0) and g2 (qubit 3 via g1... qubit 3's last gate is g1).
+        DependencyDag::from_circuit(&Circuit::from_gates(
+            4,
+            [
+                Gate::cx(0, 1),
+                Gate::cx(2, 3),
+                Gate::cx(1, 2),
+                Gate::cx(0, 3),
+            ],
+        ))
+    }
+
+    #[test]
+    fn reset_initialises_front_layer() {
+        let dag = diamond();
+        let mut tracker = FrontTracker::new();
+        tracker.reset(&dag);
+        assert_eq!(tracker.front(), &[0, 1]);
+        assert!(!tracker.is_done());
+    }
+
+    #[test]
+    fn advance_executes_ready_gates_and_unlocks_successors() {
+        let dag = diamond();
+        let mut tracker = FrontTracker::new();
+        tracker.reset(&dag);
+        let mut executed = Vec::new();
+        // Execute only gate 0 first: gate 3 still waits on gate 1.
+        let any = tracker.advance(&dag, |n| n == 0, |n| executed.push(n));
+        assert!(any);
+        assert_eq!(executed, vec![0]);
+        assert_eq!(tracker.front(), &[1]);
+        // Now execute gate 1; gates 2 and 3 both become ready.
+        tracker.advance(&dag, |_| true, |n| executed.push(n));
+        assert_eq!(executed, vec![0, 1]);
+        assert_eq!(tracker.front(), &[2, 3]);
+        tracker.advance(&dag, |_| true, |n| executed.push(n));
+        assert!(tracker.is_done());
+        assert_eq!(executed, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn advance_reports_stall() {
+        let dag = diamond();
+        let mut tracker = FrontTracker::new();
+        tracker.reset(&dag);
+        let any = tracker.advance(&dag, |_| false, |_| panic!("nothing executes"));
+        assert!(!any);
+        assert_eq!(tracker.front(), &[0, 1]);
+    }
+
+    #[test]
+    fn extended_set_matches_bfs_semantics() {
+        let dag = diamond();
+        let mut tracker = FrontTracker::new();
+        tracker.reset(&dag);
+        // From the initial front {0, 1}, both 2 and 3 have all predecessors
+        // inside the BFS cone.
+        assert_eq!(tracker.extended_set(&dag, 20), &[2, 3]);
+        assert_eq!(tracker.extended_set(&dag, 1), &[2]);
+        assert!(tracker.extended_set(&dag, 0).is_empty());
+    }
+
+    #[test]
+    fn extended_set_excludes_gates_blocked_outside_the_cone() {
+        // g0(0,1); g1(1,2); g2(2,3): from a front of just g0 the BFS sees g1
+        // (its only predecessor is g0) and then g2.
+        let dag = DependencyDag::from_circuit(&Circuit::from_gates(
+            4,
+            [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(2, 3)],
+        ));
+        let mut tracker = FrontTracker::new();
+        tracker.reset(&dag);
+        assert_eq!(tracker.extended_set(&dag, 20), &[1, 2]);
+    }
+
+    #[test]
+    fn tracker_reuse_across_resets() {
+        let dag = diamond();
+        let mut tracker = FrontTracker::new();
+        for _ in 0..3 {
+            tracker.reset(&dag);
+            let mut count = 0;
+            while !tracker.is_done() {
+                tracker.advance(&dag, |_| true, |_| count += 1);
+            }
+            assert_eq!(count, 4);
+        }
+    }
+}

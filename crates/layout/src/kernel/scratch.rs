@@ -1,0 +1,154 @@
+//! Recycled scratch buffers for the routing inner loops.
+//!
+//! Every routing decision needs a "visited" set and a private copy of the
+//! remaining-predecessor counts for the extended-set BFS. Allocating fresh
+//! `Vec<bool>`/`Vec<usize>` per decision (as the pre-kernel routers did)
+//! dominates the cost of small decisions; these buffers amortise that to
+//! O(touched) per use via generation stamps and copy-on-first-touch.
+
+/// A reusable membership set over `0..len` backed by generation stamps.
+///
+/// `reset` is O(1) (it bumps the generation) except when the universe grows
+/// or the 32-bit generation counter would wrap, where it falls back to a
+/// full clear.
+#[derive(Debug, Clone, Default)]
+pub struct StampSet {
+    stamps: Vec<u32>,
+    generation: u32,
+}
+
+impl StampSet {
+    /// An empty set over an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the set and (re)sizes the universe to `0..len`.
+    pub fn reset(&mut self, len: usize) {
+        if self.stamps.len() < len {
+            self.stamps.resize(len, 0);
+        }
+        if self.generation == u32::MAX {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    /// Inserts `i`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe set by the last `reset`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        if self.stamps[i] == self.generation {
+            false
+        } else {
+            self.stamps[i] = self.generation;
+            true
+        }
+    }
+
+    /// Returns `true` if `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamps.get(i).is_some_and(|&s| s == self.generation)
+    }
+}
+
+/// A copy-on-first-touch overlay over a base `&[usize]` of counters.
+///
+/// The extended-set BFS decrements predecessor counts without mutating the
+/// tracker's authoritative counts; this overlay materialises only the
+/// entries the BFS actually touches instead of cloning the whole vector
+/// per decision.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowCounts {
+    values: Vec<usize>,
+    touched: StampSet,
+}
+
+impl ShadowCounts {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets all overlay entries and (re)sizes the universe to `0..len`.
+    pub fn reset(&mut self, len: usize) {
+        if self.values.len() < len {
+            self.values.resize(len, 0);
+        }
+        self.touched.reset(len);
+    }
+
+    /// Saturating-decrements entry `i`, initialising it from `base[i]` on
+    /// first touch, and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe set by the last `reset`.
+    pub fn saturating_decrement(&mut self, i: usize, base: &[usize]) -> usize {
+        let current = if self.touched.insert(i) {
+            base[i]
+        } else {
+            self.values[i]
+        };
+        let next = current.saturating_sub(1);
+        self.values[i] = next;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_set_inserts_and_resets() {
+        let mut set = StampSet::new();
+        set.reset(4);
+        assert!(set.insert(2));
+        assert!(!set.insert(2));
+        assert!(set.contains(2));
+        assert!(!set.contains(1));
+        set.reset(4);
+        assert!(!set.contains(2));
+        assert!(set.insert(2));
+    }
+
+    #[test]
+    fn stamp_set_grows_universe() {
+        let mut set = StampSet::new();
+        set.reset(2);
+        assert!(set.insert(1));
+        set.reset(10);
+        assert!(!set.contains(1));
+        assert!(set.insert(9));
+    }
+
+    #[test]
+    fn stamp_set_survives_generation_wrap() {
+        let mut set = StampSet::new();
+        set.reset(3);
+        set.insert(0);
+        set.generation = u32::MAX; // simulate an ancient stamp state
+        set.reset(3);
+        assert!(!set.contains(0));
+        assert!(set.insert(0));
+        assert!(set.contains(0));
+    }
+
+    #[test]
+    fn shadow_counts_copy_on_first_touch() {
+        let base = [3usize, 0, 5];
+        let mut shadow = ShadowCounts::new();
+        shadow.reset(3);
+        assert_eq!(shadow.saturating_decrement(0, &base), 2);
+        assert_eq!(shadow.saturating_decrement(0, &base), 1);
+        // Entry 1 saturates at zero instead of wrapping.
+        assert_eq!(shadow.saturating_decrement(1, &base), 0);
+        // Reset forgets the overlay: entry 0 restarts from the base value.
+        shadow.reset(3);
+        assert_eq!(shadow.saturating_decrement(0, &base), 2);
+    }
+}

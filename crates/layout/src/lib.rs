@@ -22,7 +22,10 @@
 //!
 //! All routers implement the [`Router`] trait so the benchmark harness can
 //! treat them uniformly, and every result can be checked with
-//! [`validate_routing`].
+//! [`validate_routing`]. The shared routing machinery — per-call
+//! [`RoutingProblem`](kernel::RoutingProblem) construction, front-layer
+//! tracking, and incremental SWAP scoring — lives in the [`kernel`] module;
+//! each router module contributes only its tool-specific policy on top.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod astar;
+pub mod kernel;
 pub mod mapping;
 pub mod multilevel;
 pub mod placement;
@@ -54,6 +58,7 @@ pub mod tket;
 pub mod validate;
 
 pub use astar::{AStarConfig, AStarRouter};
+pub use kernel::{FrontTracker, RoutingProblem, SwapScorer};
 pub use mapping::Mapping;
 pub use multilevel::{MultilevelConfig, MultilevelRouter};
 pub use placement::{greedy_bfs_placement, random_placement, vf2_placement};

@@ -125,9 +125,13 @@ impl Level {
                 next += 1;
             }
         }
-        // Aggregate edge weights between coarse nodes.
-        let mut weight_map: std::collections::HashMap<(NodeId, NodeId), u64> =
-            std::collections::HashMap::new();
+        // Aggregate edge weights between coarse nodes. A BTreeMap, not a
+        // HashMap: the map is iterated to build the adjacency lists below,
+        // and std's per-process hasher randomisation would make the list
+        // order — and through placement ties the whole ML-QLS result —
+        // nondeterministic across runs.
+        let mut weight_map: std::collections::BTreeMap<(NodeId, NodeId), u64> =
+            std::collections::BTreeMap::new();
         for u in 0..n {
             for &(v, w) in &self.weights[u] {
                 if u < v {
@@ -302,12 +306,7 @@ impl MultilevelRouter {
 
 impl Router for MultilevelRouter {
     fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
-        if circuit.num_qubits() > arch.num_qubits() {
-            return Err(RouteError::TooManyQubits {
-                program: circuit.num_qubits(),
-                physical: arch.num_qubits(),
-            });
-        }
+        crate::kernel::check_fit(circuit, arch)?;
         let placement = self.place(circuit, arch);
         let sabre = SabreRouter::new(SabreConfig::default().with_seed(self.config.seed));
         let mut routed = sabre.route_with_initial_mapping(circuit, arch, &placement)?;

@@ -93,7 +93,9 @@ impl ToolKind {
             "lightsabre" | "sabre" => Some(ToolKind::LightSabre),
             "ml-qls" | "mlqls" | "multilevel" => Some(ToolKind::MlQls),
             "qmap" | "astar" | "a*" => Some(ToolKind::Qmap),
-            "tket" | "t|ket>" => Some(ToolKind::Tket),
+            // Both the ASCII and the Unicode spelling of t|ket⟩ are accepted
+            // (reports and docs use the Unicode form).
+            "tket" | "t|ket>" | "t|ket⟩" => Some(ToolKind::Tket),
             _ => None,
         }
     }
@@ -135,6 +137,17 @@ mod tests {
         }
         assert_eq!(ToolKind::parse("SABRE"), Some(ToolKind::LightSabre));
         assert_eq!(ToolKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn tket_unicode_spelling_round_trips() {
+        // The harness CLIs must accept both the ASCII and the Unicode
+        // spelling; parsing the accepted name back must stay stable.
+        for spelling in ["t|ket>", "t|ket⟩", "tket"] {
+            let tool = ToolKind::parse(spelling).expect("accepted spelling");
+            assert_eq!(tool, ToolKind::Tket);
+            assert_eq!(ToolKind::parse(tool.name()), Some(tool));
+        }
     }
 
     #[test]

@@ -7,18 +7,30 @@
 //! random-restart trials with forward–backward–forward mapping passes, and a
 //! release valve that forces progress when the heuristic stalls.
 //!
+//! The routing machinery itself — dependency DAG construction, front-layer
+//! tracking, extended-set BFS and incremental SWAP scoring — lives in
+//! [`crate::kernel`]; this module contributes only the SABRE-specific
+//! policy: decay factors, the release valve, and the trial/pass search
+//! loop. One [`RoutingProblem`] (forward + reversed DAG) is built per
+//! `route` call and shared by **all** trials and mapping passes, and the
+//! intermediate refinement passes skip physical-circuit emission entirely
+//! (only their final mapping is consumed).
+//!
 //! The §IV-C case study of the paper attributes a suboptimal LightSABRE
 //! choice to the *uniform* weighting of the extended set and suggests adding
 //! a decay factor to the lookahead cost; [`SabreConfig::lookahead_decay`]
 //! implements exactly that proposal so the ablation in the benchmark harness
 //! can reproduce the analysis.
 
+use crate::kernel::{
+    check_fit, force_adjacent, FrontTracker, ProblemView, RoutingProblem, ScoreParams, SwapScorer,
+};
 use crate::mapping::Mapping;
 use crate::placement::greedy_bfs_placement;
 use crate::result::RoutedCircuit;
 use crate::router::{RouteError, Router};
 use qubikos_arch::Architecture;
-use qubikos_circuit::{Circuit, DependencyDag, Gate};
+use qubikos_circuit::{Circuit, Gate};
 use qubikos_graph::NodeId;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -93,6 +105,13 @@ impl SabreConfig {
         self.lookahead_decay = Some(decay);
         self
     }
+
+    fn score_params(&self) -> ScoreParams {
+        ScoreParams {
+            extended_set_weight: self.extended_set_weight,
+            lookahead_decay: self.lookahead_decay,
+        }
+    }
 }
 
 /// SABRE / LightSABRE-style layout synthesis tool.
@@ -127,9 +146,19 @@ impl SabreRouter {
         initial: &Mapping,
     ) -> Result<RoutedCircuit, RouteError> {
         check_fit(circuit, arch)?;
+        let problem = RoutingProblem::forward_only(circuit);
+        let mut scratch = SabreScratch::default();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let pass = RoutingPass::new(circuit, arch, &self.config);
-        let (physical, final_mapping) = pass.run(initial.clone(), &mut rng);
+        let mut physical = Circuit::new(arch.num_qubits());
+        let final_mapping = run_pass(
+            problem.forward(),
+            arch,
+            &self.config,
+            initial.clone(),
+            &mut rng,
+            &mut scratch,
+            Some(&mut physical),
+        );
         Ok(RoutedCircuit {
             physical_circuit: physical,
             initial_mapping: initial.clone(),
@@ -143,7 +172,10 @@ impl Router for SabreRouter {
     fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
         check_fit(circuit, arch)?;
         let config = &self.config;
-        let reversed = reversed_circuit(circuit);
+        // Forward and reversed DAGs are built exactly once here and shared
+        // by every trial and every mapping pass below.
+        let problem = RoutingProblem::bidirectional(circuit);
+        let mut scratch = SabreScratch::default();
         let mut best: Option<RoutedCircuit> = None;
 
         for trial in 0..config.trials.max(1) {
@@ -159,18 +191,30 @@ impl Router for SabreRouter {
             // Forward/backward passes refine the initial mapping: the final
             // mapping of each pass seeds the next pass on the reversed
             // circuit, converging towards a mapping that suits both ends.
+            // Only the final mapping of a refinement pass is consumed, so
+            // these passes skip physical-circuit emission.
             let passes = config.mapping_passes.max(1);
             for p in 0..passes.saturating_sub(1) {
-                let source = if p % 2 == 0 { circuit } else { &reversed };
-                let pass = RoutingPass::new(source, arch, config);
-                let (_, final_mapping) = pass.run(mapping.clone(), &mut rng);
-                mapping = final_mapping;
+                let view = if p % 2 == 0 {
+                    problem.forward()
+                } else {
+                    problem.reversed()
+                };
+                mapping = run_pass(view, arch, config, mapping, &mut rng, &mut scratch, None);
             }
             // If an even number of refinement passes was run the mapping now
             // describes the reversed circuit's start, which is exactly the
             // forward circuit's best-known start as well.
-            let pass = RoutingPass::new(circuit, arch, config);
-            let (physical, final_mapping) = pass.run(mapping.clone(), &mut rng);
+            let mut physical = Circuit::new(arch.num_qubits());
+            let final_mapping = run_pass(
+                problem.forward(),
+                arch,
+                config,
+                mapping.clone(),
+                &mut rng,
+                &mut scratch,
+                Some(&mut physical),
+            );
             let candidate = RoutedCircuit {
                 physical_circuit: physical,
                 initial_mapping: mapping,
@@ -193,339 +237,168 @@ impl Router for SabreRouter {
     }
 }
 
-fn check_fit(circuit: &Circuit, arch: &Architecture) -> Result<(), RouteError> {
-    if circuit.num_qubits() > arch.num_qubits() {
-        Err(RouteError::TooManyQubits {
-            program: circuit.num_qubits(),
-            physical: arch.num_qubits(),
-        })
-    } else {
-        Ok(())
-    }
+/// Kernel state reused across every pass and trial of one route call.
+#[derive(Debug, Clone, Default)]
+struct SabreScratch {
+    tracker: FrontTracker,
+    scorer: SwapScorer,
+    candidates: Vec<(NodeId, NodeId)>,
+    ties: Vec<(NodeId, NodeId)>,
+    decay: Vec<f64>,
 }
 
-/// The circuit with its gate order reversed (used by the backward mapping passes).
-fn reversed_circuit(circuit: &Circuit) -> Circuit {
-    let mut gates: Vec<Gate> = circuit.gates().to_vec();
-    gates.reverse();
-    Circuit::from_gates(circuit.num_qubits(), gates)
-}
+/// One SABRE routing pass over `view` from `mapping`; returns the final
+/// mapping. When `out` is `Some`, the physical circuit (attached
+/// single-qubit gates, two-qubit gates, SWAPs, trailing gates) is emitted
+/// into it; refinement passes pass `None` and skip emission entirely.
+fn run_pass(
+    view: &ProblemView,
+    arch: &Architecture,
+    config: &SabreConfig,
+    mut mapping: Mapping,
+    rng: &mut ChaCha8Rng,
+    scratch: &mut SabreScratch,
+    mut out: Option<&mut Circuit>,
+) -> Mapping {
+    let dag = view.dag();
+    let params = config.score_params();
+    scratch.tracker.reset(dag);
+    scratch.decay.clear();
+    scratch.decay.resize(arch.num_qubits(), 1.0);
+    let mut decisions_since_reset = 0usize;
+    let mut swaps_since_progress = 0usize;
+    // The scorer snapshot is valid until the front changes or the mapping
+    // moves without the scorer seeing it (release valve).
+    let mut scorer_ready = false;
 
-/// One SABRE routing pass over a fixed circuit with a fixed starting mapping.
-struct RoutingPass<'a> {
-    arch: &'a Architecture,
-    config: &'a SabreConfig,
-    dag: DependencyDag,
-    /// Single-qubit gates that must be emitted immediately before each DAG node.
-    attached: Vec<Vec<Gate>>,
-    /// Single-qubit gates after the last two-qubit gate on their qubit.
-    trailing: Vec<Gate>,
-}
-
-impl<'a> RoutingPass<'a> {
-    fn new(circuit: &'a Circuit, arch: &'a Architecture, config: &'a SabreConfig) -> Self {
-        let dag = DependencyDag::from_circuit(circuit);
-        let (attached, trailing) = attach_single_qubit_gates(circuit, &dag);
-        RoutingPass {
-            arch,
-            config,
+    while !scratch.tracker.is_done() {
+        // Execute every front gate whose qubits are adjacent.
+        let out_ref = &mut out;
+        let executed_any = scratch.tracker.advance(
             dag,
-            attached,
-            trailing,
-        }
-    }
-
-    /// Runs the pass, returning the physical circuit and the final mapping.
-    fn run(&self, mut mapping: Mapping, rng: &mut ChaCha8Rng) -> (Circuit, Mapping) {
-        let dag = &self.dag;
-        let mut out = Circuit::new(self.arch.num_qubits());
-        let mut remaining_preds: Vec<usize> =
-            (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
-        let mut front: Vec<usize> = dag.front_layer();
-        let mut decay = vec![1.0f64; self.arch.num_qubits()];
-        let mut decisions_since_reset = 0usize;
-        let mut swaps_since_progress = 0usize;
-
-        while !front.is_empty() {
-            // Execute every front gate whose qubits are adjacent.
-            let mut executed_any = false;
-            let mut next_front = Vec::with_capacity(front.len());
-            for &node in &front {
-                let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
-                let (pa, pb) = (mapping.physical(a), mapping.physical(b));
-                if self.arch.are_coupled(pa, pb) {
-                    self.emit_gate(node, &mapping, &mut out);
-                    executed_any = true;
-                    for &s in dag.successors(node) {
-                        remaining_preds[s] -= 1;
-                        if remaining_preds[s] == 0 {
-                            next_front.push(s);
-                        }
-                    }
-                } else {
-                    next_front.push(node);
+            |node| {
+                let (a, b) = dag.qubit_pair(node);
+                arch.are_coupled(mapping.physical(a), mapping.physical(b))
+            },
+            |node| {
+                if let Some(out) = out_ref.as_deref_mut() {
+                    view.emit(node, &mapping, out);
                 }
-            }
-            front = next_front;
-            if executed_any {
-                swaps_since_progress = 0;
-                decay.iter_mut().for_each(|d| *d = 1.0);
-                decisions_since_reset = 0;
-                continue;
-            }
-            if front.is_empty() {
-                break;
-            }
-
-            // Release valve: force the closest front gate through if the
-            // heuristic has been spinning without progress.
-            if swaps_since_progress >= self.config.release_valve_threshold {
-                self.force_closest_gate(&front, &mut mapping, &mut out);
-                swaps_since_progress = 0;
-                continue;
-            }
-
-            // Score candidate SWAPs and apply the best one.
-            let extended = self.extended_set(&front, &remaining_preds);
-            let candidates = self.candidate_swaps(&front, &mapping);
-            let chosen = self.pick_swap(&candidates, &front, &extended, &mapping, &decay, rng);
-            out.push(Gate::swap(chosen.0, chosen.1));
-            mapping.apply_swap_physical(chosen.0, chosen.1);
-            decay[chosen.0] += self.config.decay_increment;
-            decay[chosen.1] += self.config.decay_increment;
-            decisions_since_reset += 1;
-            swaps_since_progress += 1;
-            if decisions_since_reset >= self.config.decay_reset_interval {
-                decay.iter_mut().for_each(|d| *d = 1.0);
-                decisions_since_reset = 0;
-            }
+            },
+        );
+        if executed_any {
+            swaps_since_progress = 0;
+            scratch.decay.iter_mut().for_each(|d| *d = 1.0);
+            decisions_since_reset = 0;
+            scorer_ready = false;
+            continue;
+        }
+        if scratch.tracker.is_done() {
+            break;
         }
 
-        // Emit trailing single-qubit gates under the final mapping.
-        for gate in &self.trailing {
-            out.push(gate.map_qubits(|q| mapping.physical(q)));
+        // Release valve: force the closest front gate through if the
+        // heuristic has been spinning without progress.
+        if swaps_since_progress >= config.release_valve_threshold {
+            force_closest_gate(view, arch, &mut mapping, &mut out, scratch);
+            swaps_since_progress = 0;
+            scorer_ready = false;
+            continue;
         }
-        (out, mapping)
-    }
 
-    /// Emits a DAG node's attached single-qubit gates followed by the
-    /// two-qubit gate itself, all translated to physical qubits.
-    fn emit_gate(&self, node: usize, mapping: &Mapping, out: &mut Circuit) {
-        for gate in &self.attached[node] {
-            out.push(gate.map_qubits(|q| mapping.physical(q)));
+        if !scorer_ready {
+            scratch
+                .tracker
+                .compute_extended_set(dag, config.extended_set_size);
+            scratch.scorer.prepare(
+                scratch.tracker.front(),
+                scratch.tracker.extended(),
+                dag,
+                &mapping,
+                arch,
+                &params,
+            );
+            scorer_ready = true;
         }
-        let gate = self.dag.gate(node);
-        out.push(gate.map_qubits(|q| mapping.physical(q)));
-    }
 
-    /// Collects up to `extended_set_size` gates reachable from the front
-    /// layer, in BFS order over the DAG (the LightSABRE extended set).
-    fn extended_set(&self, front: &[usize], remaining_preds: &[usize]) -> Vec<usize> {
-        let limit = self.config.extended_set_size;
-        let mut extended = Vec::with_capacity(limit);
-        if limit == 0 {
-            return extended;
-        }
-        let mut preds = remaining_preds.to_vec();
-        let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
-        let mut seen = vec![false; self.dag.len()];
-        for &f in front {
-            seen[f] = true;
-        }
-        while let Some(node) = queue.pop_front() {
-            for &s in self.dag.successors(node) {
-                preds[s] = preds[s].saturating_sub(1);
-                if !seen[s] && preds[s] == 0 {
-                    seen[s] = true;
-                    extended.push(s);
-                    if extended.len() >= limit {
-                        return extended;
-                    }
-                    queue.push_back(s);
-                }
-            }
-        }
-        extended
-    }
-
-    /// Candidate SWAPs: coupler edges incident to a physical qubit that
-    /// currently hosts a qubit of some front-layer gate.
-    fn candidate_swaps(&self, front: &[usize], mapping: &Mapping) -> Vec<(NodeId, NodeId)> {
-        let mut active = vec![false; self.arch.num_qubits()];
-        for &node in front {
-            let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
-            active[mapping.physical(a)] = true;
-            active[mapping.physical(b)] = true;
-        }
-        let mut candidates = Vec::new();
-        for edge in self.arch.couplers() {
-            if active[edge.u] || active[edge.v] {
-                candidates.push((edge.u, edge.v));
-            }
-        }
-        candidates
-    }
-
-    /// Scores every candidate SWAP and returns the cheapest (ties broken at random).
-    fn pick_swap(
-        &self,
-        candidates: &[(NodeId, NodeId)],
-        front: &[usize],
-        extended: &[usize],
-        mapping: &Mapping,
-        decay: &[f64],
-        rng: &mut ChaCha8Rng,
-    ) -> (NodeId, NodeId) {
+        // Score candidate SWAPs and apply the best one (ties broken at
+        // random, exactly as before the kernel).
+        scratch
+            .scorer
+            .candidates_into(arch, &mut scratch.candidates);
         debug_assert!(
-            !candidates.is_empty(),
+            !scratch.candidates.is_empty(),
             "front gates always have candidate swaps"
         );
         let mut best_score = f64::INFINITY;
-        let mut best: Vec<(NodeId, NodeId)> = Vec::new();
-        for &(pa, pb) in candidates {
-            let score = self.swap_score((pa, pb), front, extended, mapping, decay);
+        scratch.ties.clear();
+        for i in 0..scratch.candidates.len() {
+            let (pa, pb) = scratch.candidates[i];
+            let decay_factor = scratch.decay[pa].max(scratch.decay[pb]);
+            let score = decay_factor * scratch.scorer.swap_cost((pa, pb), arch, &params);
             if score < best_score - 1e-12 {
                 best_score = score;
-                best.clear();
-                best.push((pa, pb));
+                scratch.ties.clear();
+                scratch.ties.push((pa, pb));
             } else if (score - best_score).abs() <= 1e-12 {
-                best.push((pa, pb));
+                scratch.ties.push((pa, pb));
             }
         }
-        *best.choose(rng).expect("non-empty candidate set")
-    }
-
-    /// The LightSABRE cost of applying one SWAP: basic front-layer distance
-    /// plus weighted extended-set distance, scaled by the decay factors of
-    /// the swapped qubits.
-    fn swap_score(
-        &self,
-        swap: (NodeId, NodeId),
-        front: &[usize],
-        extended: &[usize],
-        mapping: &Mapping,
-        decay: &[f64],
-    ) -> f64 {
-        let resolve = |p: NodeId| -> NodeId {
-            if p == swap.0 {
-                swap.1
-            } else if p == swap.1 {
-                swap.0
-            } else {
-                p
-            }
-        };
-        let gate_distance = |node: usize| -> f64 {
-            let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
-            let pa = resolve(mapping.physical(a));
-            let pb = resolve(mapping.physical(b));
-            self.arch.distance(pa, pb) as f64
-        };
-
-        let basic: f64 = front.iter().map(|&n| gate_distance(n)).sum::<f64>() / front.len() as f64;
-        let lookahead = if extended.is_empty() {
-            0.0
-        } else {
-            let (sum, weight_sum) =
-                extended
-                    .iter()
-                    .enumerate()
-                    .fold((0.0f64, 0.0f64), |(sum, weights), (i, &n)| {
-                        let w = match self.config.lookahead_decay {
-                            Some(d) => d.powi(i as i32),
-                            None => 1.0,
-                        };
-                        (sum + w * gate_distance(n), weights + w)
-                    });
-            self.config.extended_set_weight * sum / weight_sum
-        };
-        let decay_factor = decay[swap.0].max(decay[swap.1]);
-        decay_factor * (basic + lookahead)
-    }
-
-    /// Forces the front gate whose qubits are closest together to execute by
-    /// swapping one qubit along a shortest path towards the other.
-    fn force_closest_gate(&self, front: &[usize], mapping: &mut Mapping, out: &mut Circuit) {
-        let &node = front
-            .iter()
-            .min_by_key(|&&n| {
-                let (a, b) = self.dag.gate(n).qubit_pair().expect("two-qubit gate");
-                self.arch.distance(mapping.physical(a), mapping.physical(b))
-            })
-            .expect("front is non-empty");
-        let (a, b) = self.dag.gate(node).qubit_pair().expect("two-qubit gate");
-        // Walk a shortest path from a's location towards b's location,
-        // swapping a forward until the two are adjacent.
-        loop {
-            let pa = mapping.physical(a);
-            let pb = mapping.physical(b);
-            if self.arch.are_coupled(pa, pb) {
-                break;
-            }
-            let next = self
-                .arch
-                .neighbors(pa)
-                .iter()
-                .copied()
-                .min_by_key(|&n| self.arch.distance(n, pb))
-                .expect("connected architecture");
-            out.push(Gate::swap(pa, next));
-            mapping.apply_swap_physical(pa, next);
+        let chosen = *scratch.ties.choose(rng).expect("non-empty candidate set");
+        if let Some(out) = out.as_deref_mut() {
+            out.push(Gate::swap(chosen.0, chosen.1));
         }
-        // The gate itself executes on the next main-loop iteration.
+        mapping.apply_swap_physical(chosen.0, chosen.1);
+        scratch.scorer.apply(chosen, arch);
+        scratch.decay[chosen.0] += config.decay_increment;
+        scratch.decay[chosen.1] += config.decay_increment;
+        decisions_since_reset += 1;
+        swaps_since_progress += 1;
+        if decisions_since_reset >= config.decay_reset_interval {
+            scratch.decay.iter_mut().for_each(|d| *d = 1.0);
+            decisions_since_reset = 0;
+        }
     }
+
+    // Emit trailing single-qubit gates under the final mapping.
+    if let Some(out) = out {
+        view.emit_trailing(&mapping, out);
+    }
+    mapping
 }
 
-/// Shared helper for the other routers in this crate: see
-/// [`attach_single_qubit_gates`].
-pub(crate) fn attach_for_router(
-    circuit: &Circuit,
-    dag: &DependencyDag,
-) -> (Vec<Vec<Gate>>, Vec<Gate>) {
-    attach_single_qubit_gates(circuit, dag)
-}
-
-/// Associates every single-qubit gate with the two-qubit DAG node it must
-/// precede (the next two-qubit gate on its qubit); gates after the last
-/// two-qubit gate on their qubit are returned separately as trailing gates.
-fn attach_single_qubit_gates(
-    circuit: &Circuit,
-    dag: &DependencyDag,
-) -> (Vec<Vec<Gate>>, Vec<Gate>) {
-    let mut attached = vec![Vec::new(); dag.len()];
-    let mut trailing = Vec::new();
-    // Map circuit index of each two-qubit gate to its DAG node.
-    let mut node_of_circuit_index = std::collections::HashMap::new();
-    for node in 0..dag.len() {
-        node_of_circuit_index.insert(dag.circuit_index(node), node);
-    }
-    // For each qubit, the circuit indices of its two-qubit gates in order.
-    let mut pending: Vec<Gate> = Vec::new();
-    for (ci, gate) in circuit.iter() {
-        if gate.is_two_qubit() {
-            let node = node_of_circuit_index[&ci];
-            // Attach any pending single-qubit gates that act on this gate's qubits.
-            let (a, b) = gate.qubit_pair().expect("two-qubit gate");
-            let mut still_pending = Vec::new();
-            for g in pending.drain(..) {
-                if g.acts_on(a) || g.acts_on(b) {
-                    attached[node].push(g);
-                } else {
-                    still_pending.push(g);
-                }
-            }
-            pending = still_pending;
-        } else {
-            pending.push(*gate);
+/// Forces the front gate whose qubits are closest together to execute by
+/// swapping one qubit along a shortest path towards the other. The gate
+/// itself executes on the next main-loop iteration.
+fn force_closest_gate(
+    view: &ProblemView,
+    arch: &Architecture,
+    mapping: &mut Mapping,
+    out: &mut Option<&mut Circuit>,
+    scratch: &SabreScratch,
+) {
+    let dag = view.dag();
+    let &node = scratch
+        .tracker
+        .front()
+        .iter()
+        .min_by_key(|&&n| {
+            let (a, b) = dag.qubit_pair(n);
+            arch.distance(mapping.physical(a), mapping.physical(b))
+        })
+        .expect("front is non-empty");
+    let (a, b) = dag.qubit_pair(node);
+    force_adjacent(arch, mapping, a, b, |u, v| {
+        if let Some(out) = out.as_deref_mut() {
+            out.push(Gate::swap(u, v));
         }
-    }
-    trailing.extend(pending);
-    (attached, trailing)
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::dag_builds_on_this_thread;
     use crate::validate::validate_routing;
     use qubikos_arch::devices;
     use rand::Rng;
@@ -665,8 +538,33 @@ mod tests {
         validate_routing(&circuit, &arch, &routed).expect("valid");
     }
 
+    /// The builds-DAGs-once guarantee: a full multi-trial, multi-pass route
+    /// call constructs exactly two dependency DAGs (forward + reversed),
+    /// never one per trial or per pass.
+    #[test]
+    fn route_builds_each_dag_at_most_once() {
+        let arch = devices::grid(3, 3);
+        let circuit = random_circuit(7, 30, 4);
+        let router = SabreRouter::new(SabreConfig::default().with_trials(5));
+        assert_eq!(router.config().mapping_passes, 3);
+        let before = dag_builds_on_this_thread();
+        let _ = router.route(&circuit, &arch).expect("fits");
+        assert_eq!(
+            dag_builds_on_this_thread() - before,
+            2,
+            "route must build exactly the forward and reversed DAGs once each"
+        );
+        // A single-pass route with a fixed mapping needs only the forward DAG.
+        let initial = Mapping::from_prog_to_phys((0..7).collect(), 9);
+        let before = dag_builds_on_this_thread();
+        let _ = router
+            .route_with_initial_mapping(&circuit, &arch, &initial)
+            .expect("fits");
+        assert_eq!(dag_builds_on_this_thread() - before, 1);
+    }
+
     #[test]
     fn tool_name_is_stable() {
-        assert_eq!(SabreRouter::default().name(), "lightsabre");
+        assert_eq!(SabreRouter::default().name(), "lightsabre")
     }
 }

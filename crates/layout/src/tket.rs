@@ -7,13 +7,19 @@
 //! lookahead beyond the current front, and no random restarts. Its results
 //! are valid but markedly less efficient than the SABRE family on large
 //! devices, which is the qualitative behaviour the paper reports for t|ket⟩.
+//!
+//! The shared machinery — DAG construction, front tracking, and incremental
+//! front-distance scoring — comes from [`crate::kernel`]; only the greedy
+//! policy lives here.
 
-use crate::mapping::Mapping;
+use crate::kernel::{
+    check_fit, force_adjacent, FrontTracker, RoutingProblem, ScoreParams, SwapScorer,
+};
 use crate::placement::greedy_bfs_placement;
 use crate::result::RoutedCircuit;
 use crate::router::{RouteError, Router};
 use qubikos_arch::Architecture;
-use qubikos_circuit::{Circuit, DependencyDag, Gate};
+use qubikos_circuit::{Circuit, Gate};
 use qubikos_graph::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -60,91 +66,77 @@ impl TketRouter {
 
 impl Router for TketRouter {
     fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
-        if circuit.num_qubits() > arch.num_qubits() {
-            return Err(RouteError::TooManyQubits {
-                program: circuit.num_qubits(),
-                physical: arch.num_qubits(),
-            });
-        }
+        check_fit(circuit, arch)?;
         let initial = greedy_bfs_placement(circuit, arch);
         let mut mapping = initial.clone();
-        let dag = DependencyDag::from_circuit(circuit);
-        let mut remaining_preds: Vec<usize> =
-            (0..dag.len()).map(|i| dag.predecessors(i).len()).collect();
-        let mut front = dag.front_layer();
+        let problem = RoutingProblem::forward_only(circuit);
+        let view = problem.forward();
+        let dag = view.dag();
+        let params = ScoreParams::front_only();
+        let mut tracker = FrontTracker::new();
+        tracker.reset(dag);
+        let mut scorer = SwapScorer::new();
+        let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
         let mut out = Circuit::new(arch.num_qubits());
         let mut stall = 0usize;
+        let mut scorer_ready = false;
 
-        // Single-qubit gates are re-attached exactly as in the SABRE pass.
-        let (attached, trailing) = super::sabre::attach_for_router(circuit, &dag);
-
-        while !front.is_empty() {
-            let mut executed_any = false;
-            let mut next_front = Vec::with_capacity(front.len());
-            for &node in &front {
-                let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
-                if arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
-                    for g in &attached[node] {
-                        out.push(g.map_qubits(|q| mapping.physical(q)));
-                    }
-                    out.push(dag.gate(node).map_qubits(|q| mapping.physical(q)));
-                    executed_any = true;
-                    for &s in dag.successors(node) {
-                        remaining_preds[s] -= 1;
-                        if remaining_preds[s] == 0 {
-                            next_front.push(s);
-                        }
-                    }
-                } else {
-                    next_front.push(node);
-                }
-            }
-            front = next_front;
+        while !tracker.is_done() {
+            let out_ref = &mut out;
+            let executed_any = tracker.advance(
+                dag,
+                |node| {
+                    let (a, b) = dag.qubit_pair(node);
+                    arch.are_coupled(mapping.physical(a), mapping.physical(b))
+                },
+                |node| view.emit(node, &mapping, out_ref),
+            );
             if executed_any {
                 stall = 0;
+                scorer_ready = false;
                 continue;
             }
-            if front.is_empty() {
+            if tracker.is_done() {
                 break;
             }
 
             if stall >= self.config.stall_threshold {
                 // Fallback: walk the closest blocked gate together along a
                 // shortest path.
-                let &node = front
+                let &node = tracker
+                    .front()
                     .iter()
                     .min_by_key(|&&n| {
-                        let (a, b) = dag.gate(n).qubit_pair().expect("two-qubit gate");
+                        let (a, b) = dag.qubit_pair(n);
                         arch.distance(mapping.physical(a), mapping.physical(b))
                     })
                     .expect("front is non-empty");
-                let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
-                while !arch.are_coupled(mapping.physical(a), mapping.physical(b)) {
-                    let pa = mapping.physical(a);
-                    let pb = mapping.physical(b);
-                    let next = arch
-                        .neighbors(pa)
-                        .iter()
-                        .copied()
-                        .min_by_key(|&n| arch.distance(n, pb))
-                        .expect("connected architecture");
-                    out.push(Gate::swap(pa, next));
-                    mapping.apply_swap_physical(pa, next);
-                }
+                let (a, b) = dag.qubit_pair(node);
+                force_adjacent(arch, &mut mapping, a, b, |u, v| out.push(Gate::swap(u, v)));
                 stall = 0;
+                scorer_ready = false;
                 continue;
             }
 
-            // Greedy step: the SWAP minimising the summed front distance.
-            let (pa, pb) = self.best_swap(&front, &dag, arch, &mapping);
+            // Greedy step: the SWAP minimising the summed front distance
+            // (evaluated incrementally over the gates each SWAP touches).
+            if !scorer_ready {
+                scorer.prepare(tracker.front(), &[], dag, &mapping, arch, &params);
+                scorer_ready = true;
+            }
+            scorer.candidates_into(arch, &mut candidates);
+            let (pa, pb) = candidates
+                .iter()
+                .copied()
+                .min_by_key(|&swap| scorer.front_total(swap, arch))
+                .expect("blocked front gates always have incident couplers");
             out.push(Gate::swap(pa, pb));
             mapping.apply_swap_physical(pa, pb);
+            scorer.apply((pa, pb), arch);
             stall += 1;
         }
 
-        for gate in &trailing {
-            out.push(gate.map_qubits(|q| mapping.physical(q)));
-        }
+        view.emit_trailing(&mapping, &mut out);
 
         Ok(RoutedCircuit {
             physical_circuit: out,
@@ -156,46 +148,6 @@ impl Router for TketRouter {
 
     fn name(&self) -> &str {
         "tket"
-    }
-}
-
-impl TketRouter {
-    fn best_swap(
-        &self,
-        front: &[usize],
-        dag: &DependencyDag,
-        arch: &Architecture,
-        mapping: &Mapping,
-    ) -> (NodeId, NodeId) {
-        let mut active = vec![false; arch.num_qubits()];
-        for &node in front {
-            let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
-            active[mapping.physical(a)] = true;
-            active[mapping.physical(b)] = true;
-        }
-        let score = |swap: (NodeId, NodeId)| -> usize {
-            front
-                .iter()
-                .map(|&node| {
-                    let (a, b) = dag.gate(node).qubit_pair().expect("two-qubit gate");
-                    let resolve = |p: NodeId| {
-                        if p == swap.0 {
-                            swap.1
-                        } else if p == swap.1 {
-                            swap.0
-                        } else {
-                            p
-                        }
-                    };
-                    arch.distance(resolve(mapping.physical(a)), resolve(mapping.physical(b)))
-                })
-                .sum()
-        };
-        arch.couplers()
-            .filter(|e| active[e.u] || active[e.v])
-            .map(|e| (e.u, e.v))
-            .min_by_key(|&swap| score(swap))
-            .expect("blocked front gates always have incident couplers")
     }
 }
 

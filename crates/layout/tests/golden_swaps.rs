@@ -1,0 +1,75 @@
+//! Golden SWAP-count regression fixtures.
+//!
+//! Routes a fixed set of seeded circuits (line, grid, heavy-hex) through all
+//! four routers at a fixed seed and asserts the exact per-router SWAP
+//! counts. Any future kernel or router change that silently alters routing
+//! decisions — a reordered candidate scan, a float-associativity change in
+//! the incremental scorer, a different tie-break stream — fails here loudly
+//! instead of drifting the paper's Figure-4 numbers.
+//!
+//! If a change *intentionally* alters routing decisions, regenerate the
+//! constants below and record the swap-count movement in the PR description.
+
+use qubikos_arch::{devices, Architecture};
+use qubikos_circuit::{Circuit, Gate};
+use qubikos_layout::{validate_routing, ToolKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Seed handed to every router (mirrors the harness's `tool_seed` role).
+const TOOL_SEED: u64 = 11;
+
+/// A seeded random circuit with roughly 1/4 single-qubit gates, so the
+/// fixtures also pin the attached/trailing single-qubit gate scheduling.
+fn random_circuit(num_qubits: usize, gates: usize, seed: u64) -> Circuit {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..gates {
+        let a = rng.gen_range(0..num_qubits);
+        let mut b = rng.gen_range(0..num_qubits);
+        while b == a {
+            b = rng.gen_range(0..num_qubits);
+        }
+        if rng.gen_range(0..4) == 0 {
+            c.push(Gate::h(a));
+        } else {
+            c.push(Gate::cx(a, b));
+        }
+    }
+    c
+}
+
+/// Golden counts in [`ToolKind::ALL`] order: lightsabre, ml-qls, qmap, tket.
+fn check_fixture(name: &str, arch: &Architecture, circuit: &Circuit, golden: [usize; 4]) {
+    for (tool, expected) in ToolKind::ALL.into_iter().zip(golden) {
+        let routed = tool.build(TOOL_SEED).route(circuit, arch).expect("fits");
+        validate_routing(circuit, arch, &routed).expect("valid routing");
+        assert_eq!(
+            routed.swap_count(),
+            expected,
+            "{name}/{tool}: routing decisions changed (got {}, golden {expected})",
+            routed.swap_count()
+        );
+    }
+}
+
+#[test]
+fn golden_swap_counts_on_line() {
+    let arch = devices::line(8);
+    let circuit = random_circuit(6, 30, 42);
+    check_fixture("line-8", &arch, &circuit, [10, 16, 29, 25]);
+}
+
+#[test]
+fn golden_swap_counts_on_grid() {
+    let arch = devices::grid(4, 4);
+    let circuit = random_circuit(12, 60, 7);
+    check_fixture("grid-4x4", &arch, &circuit, [16, 34, 48, 52]);
+}
+
+#[test]
+fn golden_swap_counts_on_heavy_hex() {
+    let arch = devices::rochester53();
+    let circuit = random_circuit(20, 60, 3);
+    check_fixture("rochester-53", &arch, &circuit, [54, 71, 107, 85]);
+}

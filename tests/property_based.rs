@@ -8,7 +8,9 @@ use qubikos_exact::swap_lower_bound;
 use qubikos_graph::{
     find_subgraph_embedding, generators, isomorphism::verify_embedding, DistanceMatrix,
 };
-use qubikos_layout::{validate_routing, Mapping, Router, SabreConfig, SabreRouter, TketRouter};
+use qubikos_layout::{
+    validate_routing, Mapping, Router, SabreConfig, SabreRouter, TketRouter, ToolKind,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -106,6 +108,25 @@ proptest! {
         let bench = generate(&arch, &GeneratorConfig::new(swaps, 25).with_seed(seed)).expect("generates");
         prop_assert!(verify_certificate(&bench, &arch).is_ok());
         prop_assert_eq!(bench.optimal_swaps(), swaps);
+    }
+
+    /// Routing through the shared kernel is deterministic: for any circuit
+    /// and any fixed seed, every tool produces bit-identical routings on
+    /// repeated calls (the per-process guarantee behind the engine's
+    /// cross-thread-count report invariance).
+    #[test]
+    fn all_routers_are_deterministic_for_a_fixed_seed(
+        circuit in arb_circuit(6, 25),
+        seed in 0u64..100,
+    ) {
+        let arch = devices::grid(3, 3);
+        for tool in ToolKind::ALL {
+            let first = tool.build(seed).route(&circuit, &arch).expect("fits");
+            let second = tool.build(seed).route(&circuit, &arch).expect("fits");
+            prop_assert_eq!(&first.physical_circuit, &second.physical_circuit, "{} diverged", tool);
+            prop_assert_eq!(&first.initial_mapping, &second.initial_mapping, "{} diverged", tool);
+            prop_assert_eq!(&first.final_mapping, &second.final_mapping, "{} diverged", tool);
+        }
     }
 
     /// Random connected architectures are routable: SABRE produces a valid
