@@ -4,17 +4,40 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qubikos::{generate, verify_certificate, GeneratorConfig};
 use qubikos_arch::DeviceKind;
+use qubikos_exact::solver::reference::ReferenceSolver;
 use qubikos_exact::{ExactConfig, ExactSolver};
 use std::hint::black_box;
 
+/// The rebuilt search core (in-place do/undo DFS, transposition table, SWAP
+/// canonicalization, packing bound) on the smoke-suite instance shape —
+/// including the SWAP-3 group the naive DFS was too slow to carry, the
+/// regime that let `OptimalityConfig::paper()` raise `exact_swap_limit` to 3.
 fn bench_exact_solver(c: &mut Criterion) {
     let arch = DeviceKind::Grid3x3.build();
     let mut group = c.benchmark_group("exact_solver_grid3x3");
     group.sample_size(10);
-    for swaps in [1usize, 2] {
+    for swaps in [1usize, 2, 3] {
         let bench_circuit =
             generate(&arch, &GeneratorConfig::new(swaps, 16).with_seed(9)).expect("generates");
         let solver = ExactSolver::new(ExactConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(swaps), &swaps, |b, _| {
+            b.iter(|| black_box(solver.solve(bench_circuit.circuit(), &arch)));
+        });
+    }
+    group.finish();
+}
+
+/// The pre-refactor clone-per-branch DFS on the identical instances, so the
+/// optimized-vs-reference gap (≥3x wall-clock, ≥5x nodes at SWAP-2/3) is
+/// tracked by the same harness that would catch its regression.
+fn bench_reference_solver(c: &mut Criterion) {
+    let arch = DeviceKind::Grid3x3.build();
+    let mut group = c.benchmark_group("exact_reference_grid3x3");
+    group.sample_size(10);
+    for swaps in [1usize, 2, 3] {
+        let bench_circuit =
+            generate(&arch, &GeneratorConfig::new(swaps, 16).with_seed(9)).expect("generates");
+        let solver = ReferenceSolver::new(ExactConfig::default());
         group.bench_with_input(BenchmarkId::from_parameter(swaps), &swaps, |b, _| {
             b.iter(|| black_box(solver.solve(bench_circuit.circuit(), &arch)));
         });
@@ -40,5 +63,10 @@ fn bench_certificate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exact_solver, bench_certificate);
+criterion_group!(
+    benches,
+    bench_exact_solver,
+    bench_reference_solver,
+    bench_certificate
+);
 criterion_main!(benches);

@@ -13,9 +13,9 @@
 
 use qubikos::{generate, GeneratorConfig};
 use qubikos_arch::devices;
+use qubikos_bench::microbench::TimingSamples;
 use qubikos_layout::ToolKind;
 use serde::Serialize;
-use std::time::Instant;
 
 /// One tool's timing row in the JSON export (durations in nanoseconds).
 #[derive(Debug, Serialize)]
@@ -32,27 +32,8 @@ struct RouterTiming {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        let value = args
-            .get(i + 1)
-            .unwrap_or_else(|| panic!("--json requires an output path"));
-        assert!(
-            !value.starts_with("--"),
-            "--json requires an output path, found flag `{value}`"
-        );
-        value.clone()
-    });
-    let samples: usize = args
-        .iter()
-        .position(|a| a == "--samples")
-        .map(|i| {
-            args.get(i + 1)
-                .unwrap_or_else(|| panic!("--samples requires a count"))
-                .parse()
-                .expect("--samples takes a positive integer")
-        })
-        .unwrap_or(15)
-        .max(3);
+    let json_path = qubikos_bench::microbench::json_path_flag(&args);
+    let samples = qubikos_bench::microbench::samples_flag(&args, 15);
 
     // The same fixed workload as the `route_grid4x4_120g_4swaps` criterion
     // group: a 4-SWAP/120-gate QUBIKOS instance on grid(4,4), seed 9.
@@ -70,21 +51,15 @@ fn main() {
         let router = tool.build(7);
         // Warm-up run, also the SWAP-count witness.
         let routed = router.route(workload.circuit(), &arch).expect("fits");
-        let mut times: Vec<u64> = (0..samples)
-            .map(|_| {
-                let start = Instant::now();
-                let result = router.route(workload.circuit(), &arch).expect("fits");
-                let nanos = start.elapsed().as_nanos() as u64;
-                std::hint::black_box(result);
-                nanos
-            })
-            .collect();
-        times.sort_unstable();
+        let times = TimingSamples::collect(samples, || {
+            let result = router.route(workload.circuit(), &arch).expect("fits");
+            std::hint::black_box(result);
+        });
         let row = RouterTiming {
             tool: tool.name().to_string(),
-            median_ns: times[times.len() / 2],
-            min_ns: times[0],
-            max_ns: times[times.len() - 1],
+            median_ns: times.median_ns(),
+            min_ns: times.min_ns(),
+            max_ns: times.max_ns(),
             samples,
             swap_count: routed.swap_count(),
         };

@@ -24,6 +24,7 @@
 pub mod ablations;
 pub mod case_study;
 pub mod evaluation;
+pub mod microbench;
 pub mod optimality;
 pub mod report;
 
@@ -33,4 +34,4 @@ pub use evaluation::{
     aggregate_by_tool, run_tool_evaluation, run_tool_evaluation_with_sink, EvaluationCell,
     EvaluationConfig, EvaluationReport,
 };
-pub use optimality::{run_optimality_study, OptimalityConfig, OptimalityReport};
+pub use optimality::{run_optimality_study, ExactNodesAtK, OptimalityConfig, OptimalityReport};

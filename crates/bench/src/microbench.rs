@@ -1,0 +1,126 @@
+//! Shared machinery for the micro-benchmark binaries.
+//!
+//! `router_bench` and `exact_bench` expose the same `--json PATH` /
+//! `--samples N` interface and the same sampling methodology; both live
+//! here so the two bins — and their nightly JSON artifacts — never diverge.
+
+use std::time::Instant;
+
+/// Sorted wall-clock samples of one benchmarked operation.
+pub struct TimingSamples {
+    sorted_ns: Vec<u64>,
+}
+
+impl TimingSamples {
+    /// Runs `run` `samples` times and records each wall-clock duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn collect(samples: usize, mut run: impl FnMut()) -> Self {
+        assert!(samples > 0, "at least one sample required");
+        let mut sorted_ns: Vec<u64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                run();
+                start.elapsed().as_nanos() as u64
+            })
+            .collect();
+        sorted_ns.sort_unstable();
+        TimingSamples { sorted_ns }
+    }
+
+    /// The median sample (upper median for even counts).
+    pub fn median_ns(&self) -> u64 {
+        self.sorted_ns[self.sorted_ns.len() / 2]
+    }
+
+    /// The fastest sample.
+    pub fn min_ns(&self) -> u64 {
+        self.sorted_ns[0]
+    }
+
+    /// The slowest sample.
+    pub fn max_ns(&self) -> u64 {
+        self.sorted_ns[self.sorted_ns.len() - 1]
+    }
+}
+
+/// Parses `--json PATH` from `args`, panicking on a missing or flag-shaped
+/// path.
+///
+/// # Panics
+///
+/// Panics when `--json` is present without a following path, or when the
+/// "path" is itself a flag.
+pub fn json_path_flag(args: &[String]) -> Option<String> {
+    args.iter().position(|a| a == "--json").map(|i| {
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--json requires an output path"));
+        assert!(
+            !value.starts_with("--"),
+            "--json requires an output path, found flag `{value}`"
+        );
+        value.clone()
+    })
+}
+
+/// Parses `--samples N` from `args`, falling back to `default` and clamping
+/// to at least 3 so a median is always a real middle element.
+///
+/// # Panics
+///
+/// Panics when `--samples` is present without a parseable positive integer.
+pub fn samples_flag(args: &[String], default: usize) -> usize {
+    args.iter()
+        .position(|a| a == "--samples")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--samples requires a count"))
+                .parse()
+                .expect("--samples takes a positive integer")
+        })
+        .unwrap_or(default)
+        .max(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn json_path_is_optional() {
+        assert_eq!(json_path_flag(&args(&["--samples", "5"])), None);
+        assert_eq!(
+            json_path_flag(&args(&["--json", "out.json"])),
+            Some("out.json".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "found flag")]
+    fn json_path_rejects_flag_values() {
+        json_path_flag(&args(&["--json", "--samples"]));
+    }
+
+    #[test]
+    fn samples_defaults_and_clamps() {
+        assert_eq!(samples_flag(&args(&[]), 15), 15);
+        assert_eq!(samples_flag(&args(&["--samples", "25"]), 15), 25);
+        assert_eq!(samples_flag(&args(&["--samples", "1"]), 15), 3);
+    }
+
+    #[test]
+    fn timing_samples_order_statistics() {
+        let mut tick = 0u64;
+        let samples = TimingSamples::collect(5, || tick += 1);
+        assert_eq!(tick, 5);
+        assert!(samples.min_ns() <= samples.median_ns());
+        assert!(samples.median_ns() <= samples.max_ns());
+    }
+}

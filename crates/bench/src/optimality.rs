@@ -16,6 +16,11 @@
 //! certificate check), so the study runs on the [`qubikos_engine`]
 //! work-stealing executor: one job per circuit, one exact solver per worker,
 //! and a report that is identical for any thread count.
+//!
+//! The report also aggregates the exact solver's per-`k` node counts and
+//! wall-clock so the study output shows where the search budget goes — the
+//! instrumentation behind raising `exact_swap_limit` from 2 to 3 when the
+//! solver core was rebuilt.
 
 use qubikos::{generate_suite, verify_certificate, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
@@ -43,12 +48,18 @@ pub struct OptimalityConfig {
 
 impl OptimalityConfig {
     /// The paper's configuration (400 circuits per device) — slow.
+    ///
+    /// `exact_swap_limit` is 3: the rebuilt search core (in-place do/undo
+    /// state, transposition table, SWAP canonicalization, packing bound)
+    /// decides SWAP-3 instances within the same budget the naive DFS needed
+    /// for SWAP-2, so two thirds of the designed SWAP counts are confirmed
+    /// by independent search instead of one third.
     pub fn paper() -> Self {
         OptimalityConfig {
             devices: vec![DeviceKind::Aspen4, DeviceKind::Grid3x3],
             suite: SuiteConfig::paper_optimality_study(),
             exact: ExactConfig::default(),
-            exact_swap_limit: 2,
+            exact_swap_limit: 3,
             threads: AUTO_THREADS,
         }
     }
@@ -88,8 +99,23 @@ impl OptimalityConfig {
     }
 }
 
-/// Aggregate outcome of the optimality study.
+/// Exact-solver node counts aggregated over one queried SWAP budget `k`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExactNodesAtK {
+    /// The queried SWAP budget.
+    pub swaps: usize,
+    /// Number of feasibility queries run at this budget.
+    pub queries: usize,
+    /// Total search nodes expanded at this budget.
+    pub nodes: u64,
+}
+
+/// Aggregate outcome of the optimality study.
+///
+/// `exact_wall_micros` is excluded from equality: the report is otherwise
+/// bit-identical across thread counts (and asserted so in tests), but
+/// wall-clock never is.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OptimalityReport {
     /// Total circuits generated.
     pub circuits: usize,
@@ -101,6 +127,26 @@ pub struct OptimalityReport {
     pub exact_budget_exceeded: usize,
     /// Circuits where any check failed (must be zero).
     pub failures: usize,
+    /// Total exact-solver search nodes across all circuits.
+    pub exact_nodes: u64,
+    /// Exact-solver node counts broken down by queried SWAP budget,
+    /// ascending in `swaps` — shows where the search budget goes.
+    pub exact_nodes_by_k: Vec<ExactNodesAtK>,
+    /// Total exact-solver wall-clock in microseconds (summed over jobs, so
+    /// it exceeds elapsed time when running multi-threaded).
+    pub exact_wall_micros: u64,
+}
+
+impl PartialEq for OptimalityReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.circuits == other.circuits
+            && self.certified == other.certified
+            && self.exactly_confirmed == other.exactly_confirmed
+            && self.exact_budget_exceeded == other.exact_budget_exceeded
+            && self.failures == other.failures
+            && self.exact_nodes == other.exact_nodes
+            && self.exact_nodes_by_k == other.exact_nodes_by_k
+    }
 }
 
 /// Per-circuit outcome of the two verification stages, produced by one
@@ -117,6 +163,16 @@ enum CircuitVerdict {
     ExactMismatch,
     /// Certificate held; the exhaustive search exceeded its budget.
     ExactBudgetExceeded,
+}
+
+/// One engine job's result: the verdict plus the exact solver's per-query
+/// statistics (empty when the solver was not consulted).
+#[derive(Debug, Clone)]
+struct PointOutcome {
+    verdict: CircuitVerdict,
+    /// `(k, nodes)` per feasibility query, in deepening order.
+    exact_queries: Vec<(usize, u64)>,
+    exact_wall_micros: u64,
 }
 
 /// Runs the optimality study.
@@ -147,7 +203,7 @@ pub fn run_optimality_study_with_sink(
         .collect();
 
     let engine = Engine::new(config.threads).with_base_seed(config.suite.base_seed);
-    let verdicts = engine
+    let outcomes = engine
         .run_values(
             &jobs,
             |_worker| ExactSolver::new(config.exact),
@@ -162,10 +218,13 @@ pub fn run_optimality_study_with_sink(
         exactly_confirmed: 0,
         exact_budget_exceeded: 0,
         failures: 0,
+        exact_nodes: 0,
+        exact_nodes_by_k: Vec::new(),
+        exact_wall_micros: 0,
     };
-    for verdict in verdicts {
+    for outcome in outcomes {
         report.circuits += 1;
-        match verdict {
+        match outcome.verdict {
             CircuitVerdict::CertificateFailed => report.failures += 1,
             CircuitVerdict::CertifiedOnly => report.certified += 1,
             CircuitVerdict::ExactlyConfirmed => {
@@ -181,7 +240,27 @@ pub fn run_optimality_study_with_sink(
                 report.exact_budget_exceeded += 1;
             }
         }
+        report.exact_wall_micros += outcome.exact_wall_micros;
+        for (swaps, nodes) in outcome.exact_queries {
+            report.exact_nodes += nodes;
+            match report
+                .exact_nodes_by_k
+                .iter_mut()
+                .find(|entry| entry.swaps == swaps)
+            {
+                Some(entry) => {
+                    entry.queries += 1;
+                    entry.nodes += nodes;
+                }
+                None => report.exact_nodes_by_k.push(ExactNodesAtK {
+                    swaps,
+                    queries: 1,
+                    nodes,
+                }),
+            }
+        }
     }
+    report.exact_nodes_by_k.sort_by_key(|entry| entry.swaps);
     report
 }
 
@@ -192,15 +271,20 @@ fn verify_point(
     config: &OptimalityConfig,
     arch: &Architecture,
     point: &qubikos::ExperimentPoint,
-) -> CircuitVerdict {
+) -> PointOutcome {
+    let unsolved = |verdict| PointOutcome {
+        verdict,
+        exact_queries: Vec::new(),
+        exact_wall_micros: 0,
+    };
     if verify_certificate(&point.benchmark, arch).is_err() {
-        return CircuitVerdict::CertificateFailed;
+        return unsolved(CircuitVerdict::CertificateFailed);
     }
     if point.swap_count > config.exact_swap_limit {
-        return CircuitVerdict::CertifiedOnly;
+        return unsolved(CircuitVerdict::CertifiedOnly);
     }
     let result = solver.solve(point.benchmark.circuit(), arch);
-    match result.optimal_swaps {
+    let verdict = match result.optimal_swaps {
         Some(optimal) if result.proven => {
             if optimal == point.benchmark.optimal_swaps() {
                 CircuitVerdict::ExactlyConfirmed
@@ -209,6 +293,11 @@ fn verify_point(
             }
         }
         _ => CircuitVerdict::ExactBudgetExceeded,
+    };
+    PointOutcome {
+        verdict,
+        exact_queries: result.queries.iter().map(|q| (q.swaps, q.nodes)).collect(),
+        exact_wall_micros: result.wall_micros,
     }
 }
 
@@ -242,10 +331,19 @@ mod tests {
         assert_eq!(report.failures, 0);
         // The SWAP-count-1 instances were within the exact limit.
         assert!(report.exactly_confirmed + report.exact_budget_exceeded >= 1);
+        // The consulted solver's work is visible in the aggregates.
+        assert!(report.exact_nodes > 0);
+        assert!(!report.exact_nodes_by_k.is_empty());
+        assert_eq!(
+            report.exact_nodes,
+            report.exact_nodes_by_k.iter().map(|e| e.nodes).sum::<u64>(),
+            "per-k breakdown must sum to the total"
+        );
     }
 
     /// The study, previously fully sequential, must produce the identical
-    /// report now that it runs on the engine — at any thread count.
+    /// report now that it runs on the engine — at any thread count. (The
+    /// comparison covers node counts; wall-clock is excluded from `==`.)
     #[test]
     fn reports_identical_across_thread_counts() {
         let reference = run_optimality_study(&tiny_config().with_threads(1));
@@ -261,6 +359,9 @@ mod tests {
         assert_eq!(paper.suite.circuits_per_count, 100);
         assert_eq!(paper.devices.len(), 2);
         assert_eq!(paper.threads, AUTO_THREADS);
+        // The rebuilt exact core lifts the independent-search coverage from
+        // SWAP-2 to SWAP-3.
+        assert_eq!(paper.exact_swap_limit, 3);
         let quick = OptimalityConfig::quick();
         assert_eq!(quick.suite.circuits_per_count, 5);
         let smoke = OptimalityConfig::smoke();

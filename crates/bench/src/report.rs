@@ -57,16 +57,34 @@ pub fn render_aggregate(aggregate: &[(ToolKind, f64)]) -> String {
     out
 }
 
-/// Renders the §IV-A optimality-study summary line.
+/// Renders the §IV-A optimality-study summary: the headline line plus the
+/// exact solver's per-`k` budget breakdown, so the study output shows where
+/// the search nodes and wall-clock went.
 pub fn render_optimality(report: &OptimalityReport) -> String {
-    format!(
+    let mut out = format!(
         "optimality study: {} circuits, {} certified, {} exhaustively confirmed, {} over exact budget, {} failures\n",
         report.circuits,
         report.certified,
         report.exactly_confirmed,
         report.exact_budget_exceeded,
         report.failures
-    )
+    );
+    if report.exact_nodes > 0 {
+        let _ = writeln!(
+            out,
+            "exact solver: {} nodes, {:.1} ms wall-clock (summed over jobs)",
+            report.exact_nodes,
+            report.exact_wall_micros as f64 / 1e3
+        );
+        for entry in &report.exact_nodes_by_k {
+            let _ = writeln!(
+                out,
+                "  k={}: {} queries, {} nodes",
+                entry.swaps, entry.queries, entry.nodes
+            );
+        }
+    }
+    out
 }
 
 /// Renders the §IV-C case-study comparison.
@@ -179,14 +197,33 @@ mod tests {
 
     #[test]
     fn optimality_and_case_study_render() {
+        use crate::optimality::ExactNodesAtK;
         let text = render_optimality(&OptimalityReport {
             circuits: 10,
             certified: 10,
             exactly_confirmed: 5,
             exact_budget_exceeded: 0,
             failures: 0,
+            exact_nodes: 1500,
+            exact_nodes_by_k: vec![
+                ExactNodesAtK {
+                    swaps: 1,
+                    queries: 5,
+                    nodes: 500,
+                },
+                ExactNodesAtK {
+                    swaps: 2,
+                    queries: 3,
+                    nodes: 1000,
+                },
+            ],
+            exact_wall_micros: 2500,
         });
         assert!(text.contains("10 circuits"));
+        assert!(text.contains("1500 nodes"));
+        assert!(text.contains("k=1: 5 queries, 500 nodes"));
+        assert!(text.contains("k=2: 3 queries, 1000 nodes"));
+        assert!(text.contains("2.5 ms"));
         let text = render_case_study(&CaseStudyOutcome {
             device: DeviceKind::Aspen4,
             circuits: 4,

@@ -1,0 +1,187 @@
+//! Admissible in-search lower bound on the SWAPs still required.
+//!
+//! The pre-refactor prune only took the *maximum* per-gate deficit
+//! `distance − 1` over pending gates with both qubits placed. This module
+//! strengthens it with a packing argument over gates with pairwise-disjoint
+//! qubit supports:
+//!
+//! * executing gate `g` requires its qubits at distance 1, so `g` needs at
+//!   least `d(g) − 1` distance reduction, and a single SWAP reduces `d(g)`
+//!   by at most 1 (a SWAP moving *both* of `g`'s qubits just exchanges them,
+//!   changing nothing);
+//! * a SWAP moves exactly two program qubits, and over a family of gates
+//!   with pairwise-disjoint supports each moved qubit belongs to at most one
+//!   family member — so one SWAP reduces the family's total deficit
+//!   `D = Σ (d(g) − 1)` by at most 2;
+//! * hence at least `⌈D/2⌉` SWAPs are needed, on top of the per-gate maximum
+//!   (executions never move qubits, so distances change only through SWAPs).
+//!
+//! Every *unexecuted* gate participates, ready or not: it must reach
+//! distance 1 eventually, whatever its dependencies. That makes the bound
+//! invariant under greedy execution (greedy only executes distance-1 gates,
+//! which carry deficit 0), which is what lets the search evaluate it on a
+//! child *before* recursing — a bound-refuted child is never expanded at
+//! all.
+//!
+//! The family is chosen greedily by descending deficit, which maximises the
+//! packed sum in this small regime and keeps the check O(pending·log) per
+//! candidate move with zero allocations (scratch buffers are reused across
+//! the search).
+
+use super::state::{SearchState, UNPLACED};
+use qubikos_arch::Architecture;
+use qubikos_circuit::DependencyDag;
+
+/// Reusable scratch for [`exceeds_swap_budget`].
+pub(crate) struct PruneScratch {
+    /// Pending both-placed gates as `(deficit, qubit_a, qubit_b)`.
+    pending: Vec<(usize, usize, usize)>,
+    /// Program qubits already claimed by the greedy disjoint family.
+    claimed: Vec<bool>,
+    /// Qubits to unclaim after the scan (avoids clearing the whole vector).
+    touched: Vec<usize>,
+}
+
+impl PruneScratch {
+    /// Creates scratch for a program with `num_program` qubits.
+    pub(crate) fn new(num_program: usize) -> Self {
+        PruneScratch {
+            pending: Vec::with_capacity(16),
+            claimed: vec![false; num_program],
+            touched: Vec::with_capacity(8),
+        }
+    }
+}
+
+/// Returns `true` when the admissible lower bound on the SWAPs needed to
+/// finish the circuit from `state` — the maximum of the per-gate deficit and
+/// the disjoint-family packing bound `⌈D/2⌉` — provably exceeds `budget`,
+/// exiting as early as a single gate's deficit settles the answer.
+pub(crate) fn exceeds_swap_budget(
+    scratch: &mut PruneScratch,
+    state: &SearchState,
+    dag: &DependencyDag,
+    arch: &Architecture,
+    budget: usize,
+) -> bool {
+    scratch.pending.clear();
+    for node in 0..dag.len() {
+        if state.is_executed(node) {
+            continue;
+        }
+        let (a, b) = dag.qubit_pair(node);
+        let (pa, pb) = (state.position(a), state.position(b));
+        if pa == UNPLACED || pb == UNPLACED {
+            continue;
+        }
+        let deficit = arch.distance(pa, pb).saturating_sub(1);
+        if deficit > budget {
+            return true;
+        }
+        if deficit > 0 {
+            scratch.pending.push((deficit, a, b));
+        }
+    }
+    if scratch.pending.len() < 2 {
+        return false; // per-gate maximum already known ≤ budget
+    }
+
+    // Greedy packing: largest deficits first, skipping gates whose support
+    // intersects an already-claimed qubit. Sorting by (deficit desc, qubits)
+    // keeps the choice — and therefore `nodes_explored` — deterministic.
+    scratch
+        .pending
+        .sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+    let mut packed_sum = 0usize;
+    for &(deficit, a, b) in &scratch.pending {
+        if scratch.claimed[a] || scratch.claimed[b] {
+            continue;
+        }
+        scratch.claimed[a] = true;
+        scratch.claimed[b] = true;
+        scratch.touched.push(a);
+        scratch.touched.push(b);
+        packed_sum += deficit;
+    }
+    for q in scratch.touched.drain(..) {
+        scratch.claimed[q] = false;
+    }
+    packed_sum.div_ceil(2) > budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::dedup::ZobristKeys;
+    use qubikos_arch::devices;
+    use qubikos_circuit::{Circuit, Gate};
+
+    /// The exact bound implied by [`exceeds_swap_budget`]: the smallest
+    /// budget the state does *not* exceed.
+    fn bound_for(circuit: &Circuit, placements: &[(usize, usize)], arch: &Architecture) -> usize {
+        let dag = DependencyDag::from_circuit(circuit);
+        let num_program = circuit.num_qubits();
+        let keys = ZobristKeys::new(
+            arch.num_qubits(),
+            arch.num_couplers(),
+            num_program,
+            dag.len(),
+        );
+        let mut state = SearchState::new(&dag, arch.num_qubits(), num_program);
+        for &(q, loc) in placements {
+            state.place(&keys, q, loc);
+        }
+        let mut scratch = PruneScratch::new(num_program);
+        (0..)
+            .find(|&b| !exceeds_swap_budget(&mut scratch, &state, &dag, arch, b))
+            .expect("bound is finite")
+    }
+
+    #[test]
+    fn unplaced_gates_contribute_nothing() {
+        let arch = devices::line(4);
+        let c = Circuit::from_gates(4, [Gate::cx(0, 1), Gate::cx(2, 3)]);
+        assert_eq!(bound_for(&c, &[], &arch), 0);
+    }
+
+    #[test]
+    fn single_gate_bound_is_distance_minus_one() {
+        let arch = devices::line(5);
+        let c = Circuit::from_gates(2, [Gate::cx(0, 1)]);
+        // Qubits at the line's ends: distance 4 → at least 3 SWAPs.
+        assert_eq!(bound_for(&c, &[(0, 0), (1, 4)], &arch), 3);
+    }
+
+    #[test]
+    fn disjoint_family_beats_the_per_gate_max() {
+        // Three independent gates, each with deficit 1, on a 3×3 grid:
+        // per-gate max is 1 but ⌈3/2⌉ = 2 SWAPs are provably needed.
+        let arch = devices::grid(3, 3);
+        let c = Circuit::from_gates(6, [Gate::cx(0, 1), Gate::cx(2, 3), Gate::cx(4, 5)]);
+        // Grid locations: rows 0-2 are (0,1,2), (3,4,5), (6,7,8). Pairs at
+        // distance 2: (0,2), (3,5), (6,8).
+        let placements = [(0, 0), (1, 2), (2, 3), (3, 5), (4, 6), (5, 8)];
+        assert_eq!(bound_for(&c, &placements, &arch), 2);
+    }
+
+    #[test]
+    fn overlapping_supports_fall_back_to_the_max() {
+        // Two pending gates sharing qubit 1 cannot both join the family.
+        let arch = devices::line(5);
+        let c = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2)]);
+        let placements = [(0, 0), (1, 2), (2, 4)];
+        assert_eq!(bound_for(&c, &placements, &arch), 1);
+    }
+
+    #[test]
+    fn non_ready_gates_still_count() {
+        // A dependency chain: the second gate is not ready, but its placed
+        // distance still lower-bounds the total.
+        let arch = devices::line(5);
+        let c = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(0, 2)]);
+        let placements = [(0, 0), (1, 1), (2, 4)];
+        // Gate (0,1) is executable (deficit 0); gate (0,2) sits at distance
+        // 4 → 3 SWAPs, even though it is behind the first gate in the DAG.
+        assert_eq!(bound_for(&c, &placements, &arch), 3);
+    }
+}

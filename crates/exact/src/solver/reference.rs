@@ -1,86 +1,52 @@
-//! Exhaustive minimal-SWAP search.
+//! The pre-refactor clone-per-branch DFS, kept verbatim as a baseline.
 //!
-//! The solver decides, for increasing `k`, whether the circuit can be
-//! executed with at most `k` SWAP gates under *some* initial mapping. The
-//! search assigns program qubits to physical qubits lazily (a program qubit
-//! is only pinned down at the moment its first gate executes), which keeps
-//! the branching factor independent of the device size for sparsely-used
-//! devices while remaining complete:
+//! This module exists for two consumers only:
 //!
-//! * executing a ready gate whose qubits are already mapped to adjacent
-//!   locations is always done greedily (no choice is lost);
-//! * a ready gate with unmapped qubits branches over every placement that
-//!   makes it executable right now — deferring the placement decision to
-//!   this moment is complete because an unmapped qubit's earlier positions
-//!   cannot have influenced anything;
-//! * a SWAP branches over every coupler with at least one mapped endpoint —
-//!   SWAPs between two unmapped locations never change the reachable states.
+//! * the **differential tests**, which check that the optimized core in
+//!   [`super`] (in-place do/undo state, transposition table, SWAP
+//!   canonicalization, packing bound) reports identical
+//!   `optimal_swaps`/`proven` answers on randomized instances;
+//! * the **benchmarks** (`benches/exact_solver.rs`, the `exact_bench` bin),
+//!   which quantify the node-count and wall-clock reduction against it.
 //!
-//! Infeasibility of `k-1` plus a witness at `k` proves optimality, exactly
-//! the evidence OLSQ2 provides in the paper's §IV-A study.
+//! Do not use it in pipelines: it clones four `Vec`s per search node and
+//! rescans the whole DAG for ready gates, which is exactly what the rewrite
+//! removed. No optimization applies here — every difference from the
+//! optimized core's search *order* is intentional, but the *answers* must
+//! agree, which is what makes it a meaningful oracle.
 
 use crate::lower_bound::swap_lower_bound;
+use crate::solver::{ExactConfig, ExactResult, QueryOutcome, QueryStats};
 use qubikos_arch::Architecture;
 use qubikos_circuit::{Circuit, DependencyDag};
 use qubikos_graph::NodeId;
-use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
-/// Configuration of the exact solver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ExactConfig {
-    /// Largest SWAP count to try before giving up.
-    pub max_swaps: usize,
-    /// Maximum number of search nodes per feasibility query; when exceeded
-    /// the query (and therefore the overall result) is reported as unproven.
-    pub node_budget: u64,
-}
-
-impl Default for ExactConfig {
-    fn default() -> Self {
-        ExactConfig {
-            max_swaps: 8,
-            node_budget: 20_000_000,
-        }
-    }
-}
-
-/// Outcome of an exact solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ExactResult {
-    /// The optimal SWAP count, if the solver found a feasible `k` within
-    /// `max_swaps`.
-    pub optimal_swaps: Option<usize>,
-    /// `true` when the reported value is certain: every smaller SWAP count
-    /// was exhaustively refuted within the node budget.
-    pub proven: bool,
-    /// Total number of search nodes expanded across all feasibility queries.
-    pub nodes_explored: u64,
-}
-
-/// Exhaustive exact minimal-SWAP solver (OLSQ2 substitute).
+/// The pre-refactor exhaustive solver (see module docs). Same configuration
+/// and result contract as [`crate::ExactSolver`], modulo node counts: the
+/// naive DFS counts budget-aborted probes slightly past the budget instead
+/// of hard-stopping at it.
 #[derive(Debug, Clone, Default)]
-pub struct ExactSolver {
+pub struct ReferenceSolver {
     config: ExactConfig,
 }
 
 /// Answer of a single bounded feasibility query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Feasibility {
-    /// A routing with at most the queried number of SWAPs exists.
     Feasible,
-    /// No such routing exists (exhaustively proven).
     Infeasible,
-    /// The node budget ran out before the search completed.
     Unknown,
 }
 
-impl ExactSolver {
-    /// Creates a solver with the given configuration.
+impl ReferenceSolver {
+    /// Creates a reference solver with the given configuration.
     pub fn new(config: ExactConfig) -> Self {
-        ExactSolver { config }
+        ReferenceSolver { config }
     }
 
-    /// Finds the minimum SWAP count for `circuit` on `arch`.
+    /// Finds the minimum SWAP count for `circuit` on `arch` with the naive
+    /// clone-per-branch search.
     ///
     /// # Panics
     ///
@@ -90,63 +56,45 @@ impl ExactSolver {
             circuit.num_qubits() <= arch.num_qubits(),
             "circuit does not fit the device"
         );
+        let solve_start = Instant::now();
+        let mut queries = Vec::new();
         let mut nodes = 0u64;
         let start = swap_lower_bound(circuit, arch);
         for k in start..=self.config.max_swaps {
+            let query_start = Instant::now();
             let mut search = Search::new(circuit, arch, self.config.node_budget);
             let feasibility = search.feasible_with(k);
             nodes += search.nodes;
+            queries.push(QueryStats {
+                swaps: k,
+                nodes: search.nodes,
+                wall_micros: query_start.elapsed().as_micros() as u64,
+                outcome: match feasibility {
+                    Feasibility::Feasible => QueryOutcome::Feasible,
+                    Feasibility::Infeasible => QueryOutcome::Infeasible,
+                    Feasibility::Unknown => QueryOutcome::BudgetExhausted,
+                },
+            });
             match feasibility {
                 Feasibility::Feasible => {
                     return ExactResult {
                         optimal_swaps: Some(k),
-                        // All smaller k (if any beyond the certified lower
-                        // bound) were refuted exhaustively, so the value is
-                        // proven.
                         proven: true,
                         nodes_explored: nodes,
+                        queries,
+                        wall_micros: solve_start.elapsed().as_micros() as u64,
                     };
                 }
                 Feasibility::Infeasible => continue,
-                Feasibility::Unknown => {
-                    return ExactResult {
-                        optimal_swaps: None,
-                        proven: false,
-                        nodes_explored: nodes,
-                    };
-                }
+                Feasibility::Unknown => break,
             }
         }
         ExactResult {
             optimal_swaps: None,
             proven: false,
             nodes_explored: nodes,
-        }
-    }
-
-    /// Checks whether `circuit` can be routed with at most `max_swaps` SWAPs.
-    ///
-    /// Returns `None` when the node budget was exhausted before an answer was
-    /// established.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the circuit uses more qubits than the device provides.
-    pub fn is_feasible(
-        &self,
-        circuit: &Circuit,
-        arch: &Architecture,
-        max_swaps: usize,
-    ) -> Option<bool> {
-        assert!(
-            circuit.num_qubits() <= arch.num_qubits(),
-            "circuit does not fit the device"
-        );
-        let mut search = Search::new(circuit, arch, self.config.node_budget);
-        match search.feasible_with(max_swaps) {
-            Feasibility::Feasible => Some(true),
-            Feasibility::Infeasible => Some(false),
-            Feasibility::Unknown => None,
+            queries,
+            wall_micros: solve_start.elapsed().as_micros() as u64,
         }
     }
 }
@@ -387,121 +335,13 @@ mod tests {
     use qubikos_arch::devices;
     use qubikos_circuit::Gate;
 
-    fn solver() -> ExactSolver {
-        ExactSolver::new(ExactConfig {
-            max_swaps: 4,
-            node_budget: 5_000_000,
-        })
-    }
-
     #[test]
-    fn empty_circuit_needs_no_swaps() {
-        let arch = devices::line(3);
-        let result = solver().solve(&Circuit::new(3), &arch);
-        assert_eq!(result.optimal_swaps, Some(0));
-        assert!(result.proven);
-    }
-
-    #[test]
-    fn embeddable_circuit_needs_no_swaps() {
-        let arch = devices::grid(3, 3);
-        let circuit = Circuit::from_gates(
-            5,
-            [
-                Gate::cx(0, 1),
-                Gate::cx(1, 2),
-                Gate::cx(2, 3),
-                Gate::cx(3, 4),
-            ],
-        );
-        let result = solver().solve(&circuit, &arch);
-        assert_eq!(result.optimal_swaps, Some(0));
-    }
-
-    #[test]
-    fn triangle_on_line_needs_exactly_one_swap() {
+    fn reference_still_solves_the_triangle() {
         let arch = devices::line(3);
         let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
-        let result = solver().solve(&circuit, &arch);
+        let result = ReferenceSolver::default().solve(&circuit, &arch);
         assert_eq!(result.optimal_swaps, Some(1));
         assert!(result.proven);
-    }
-
-    #[test]
-    fn two_triangles_on_line_need_two_swaps() {
-        // Two serialised triangle patterns over disjoint phases of the same
-        // three qubits: each phase forces one SWAP on a line.
-        let arch = devices::line(3);
-        let circuit = Circuit::from_gates(
-            3,
-            [
-                Gate::cx(0, 1),
-                Gate::cx(1, 2),
-                Gate::cx(0, 2),
-                Gate::cx(0, 1),
-                Gate::cx(1, 2),
-                Gate::cx(0, 2),
-            ],
-        );
-        let result = solver().solve(&circuit, &arch);
-        // After resolving the first triangle with one SWAP, the second
-        // triangle again has all three pairs pending; a line can host at most
-        // two of the three adjacencies under any mapping.
-        assert_eq!(result.optimal_swaps, Some(2));
-        assert!(result.proven);
-    }
-
-    #[test]
-    fn star_with_five_leaves_on_grid_needs_one_swap() {
-        let arch = devices::grid(3, 3);
-        let gates: Vec<Gate> = (1..=5).map(|i| Gate::cx(0, i)).collect();
-        let circuit = Circuit::from_gates(6, gates);
-        let result = solver().solve(&circuit, &arch);
-        assert_eq!(result.optimal_swaps, Some(1));
-        assert!(result.proven);
-    }
-
-    #[test]
-    fn is_feasible_agrees_with_solve() {
-        let arch = devices::line(3);
-        let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
-        let s = solver();
-        assert_eq!(s.is_feasible(&circuit, &arch, 0), Some(false));
-        assert_eq!(s.is_feasible(&circuit, &arch, 1), Some(true));
-        assert_eq!(s.is_feasible(&circuit, &arch, 3), Some(true));
-    }
-
-    #[test]
-    fn exhausted_budget_reports_unproven() {
-        let tiny = ExactSolver::new(ExactConfig {
-            max_swaps: 4,
-            node_budget: 1,
-        });
-        let arch = devices::grid(3, 3);
-        let gates: Vec<Gate> = (1..=5).map(|i| Gate::cx(0, i)).collect();
-        let circuit = Circuit::from_gates(6, gates);
-        let result = tiny.solve(&circuit, &arch);
-        assert!(!result.proven);
-        assert_eq!(result.optimal_swaps, None);
-    }
-
-    #[test]
-    fn respects_max_swaps_cap() {
-        let capped = ExactSolver::new(ExactConfig {
-            max_swaps: 0,
-            node_budget: 1_000_000,
-        });
-        let arch = devices::line(3);
-        let circuit = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
-        let result = capped.solve(&circuit, &arch);
-        assert_eq!(result.optimal_swaps, None);
-    }
-
-    #[test]
-    #[should_panic(expected = "does not fit")]
-    fn rejects_oversized_circuit() {
-        let arch = devices::line(2);
-        let circuit = Circuit::from_gates(4, [Gate::cx(0, 3)]);
-        let _ = solver().solve(&circuit, &arch);
+        assert!(result.nodes_explored > 0);
     }
 }

@@ -1,0 +1,324 @@
+//! Mutable search state with do/undo semantics.
+//!
+//! The pre-refactor solver cloned its entire state (four `Vec` allocations)
+//! at every branch — gigabytes of allocator traffic at the 20M-node budget.
+//! [`SearchState`] instead applies every move in place and records an
+//! [`UndoOp`] on a journal; the search rewinds to a [`Mark`] when it
+//! backtracks, so one allocation-free state is shared by the whole DFS.
+//!
+//! The state also maintains two things the old solver recomputed with
+//! O(dag_len) scans at every node:
+//!
+//! * the **ready set** (unexecuted nodes with all predecessors executed),
+//!   kept as an index-backed vector with O(1) insert/remove whose exact
+//!   element *order* is restored by the undo journal — callers may therefore
+//!   iterate it by index across child searches;
+//! * the **Zobrist hash** of (occupancy, executed set), updated
+//!   incrementally by every move so the transposition table probe in the hot
+//!   path is a single XOR-folded lookup.
+
+use super::dedup::ZobristKeys;
+use qubikos_circuit::{DagNodeId, DependencyDag};
+use qubikos_graph::NodeId;
+
+/// Sentinel for "program qubit not yet placed" / "location empty".
+pub(crate) const UNPLACED: NodeId = usize::MAX;
+
+/// Sentinel for "node not in the ready vector".
+const NOT_READY: usize = usize::MAX;
+
+/// One reversible move on the journal.
+enum UndoOp {
+    /// `place(program, …)` — undone by clearing the qubit's location.
+    Place {
+        /// The program qubit that was placed.
+        program: NodeId,
+    },
+    /// `execute(node)` — undone by restoring predecessor counts and the
+    /// ready vector (including the exact position `node` was removed from).
+    Execute {
+        /// The executed DAG node.
+        node: DagNodeId,
+        /// Index in the ready vector the node was swap-removed from.
+        ready_index: usize,
+    },
+    /// `apply_swap(a, b)` — self-inverse.
+    Swap {
+        /// One endpoint of the swapped coupler.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+}
+
+/// Journal position returned by [`SearchState::mark`].
+pub(crate) type Mark = usize;
+
+/// The single mutable state shared by every node of one exact search.
+pub(crate) struct SearchState {
+    /// Program qubit → physical location ([`UNPLACED`] when not yet placed).
+    position: Vec<NodeId>,
+    /// Physical location → program qubit ([`UNPLACED`] when empty).
+    occupant: Vec<NodeId>,
+    /// Remaining unexecuted predecessors per DAG node.
+    remaining_preds: Vec<u32>,
+    /// Whether each DAG node has been executed.
+    executed: Vec<bool>,
+    /// Number of DAG nodes executed so far.
+    executed_count: usize,
+    /// Ready (all predecessors executed, not yet executed) nodes.
+    ready: Vec<DagNodeId>,
+    /// Node → index in `ready`, or [`NOT_READY`].
+    ready_pos: Vec<usize>,
+    /// Incremental Zobrist hash of (occupancy, executed set).
+    hash: u64,
+    /// Undo journal; rewinding pops and reverses.
+    journal: Vec<UndoOp>,
+}
+
+impl SearchState {
+    /// Builds the initial (nothing placed, nothing executed) state.
+    pub(crate) fn new(dag: &DependencyDag, num_locations: usize, num_program: usize) -> Self {
+        let remaining_preds: Vec<u32> = (0..dag.len())
+            .map(|i| u32::try_from(dag.predecessors(i).len()).expect("pred count fits u32"))
+            .collect();
+        let ready: Vec<DagNodeId> = (0..dag.len())
+            .filter(|&i| remaining_preds[i] == 0)
+            .collect();
+        let mut ready_pos = vec![NOT_READY; dag.len()];
+        for (i, &node) in ready.iter().enumerate() {
+            ready_pos[node] = i;
+        }
+        SearchState {
+            position: vec![UNPLACED; num_program],
+            occupant: vec![UNPLACED; num_locations],
+            remaining_preds,
+            executed: vec![false; dag.len()],
+            executed_count: 0,
+            ready,
+            ready_pos,
+            hash: 0,
+            journal: Vec::with_capacity(64),
+        }
+    }
+
+    /// Physical location of `program`, or [`UNPLACED`].
+    #[inline]
+    pub(crate) fn position(&self, program: NodeId) -> NodeId {
+        self.position[program]
+    }
+
+    /// Program qubit at `location`, or [`UNPLACED`].
+    #[inline]
+    pub(crate) fn occupant(&self, location: NodeId) -> NodeId {
+        self.occupant[location]
+    }
+
+    /// Number of executed DAG nodes.
+    #[inline]
+    pub(crate) fn executed_count(&self) -> usize {
+        self.executed_count
+    }
+
+    /// Whether DAG node `node` has been executed.
+    #[inline]
+    pub(crate) fn is_executed(&self, node: DagNodeId) -> bool {
+        self.executed[node]
+    }
+
+    /// Number of ready nodes.
+    #[inline]
+    pub(crate) fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// The `i`-th ready node. Because [`rewind_to`](Self::rewind_to) restores
+    /// the ready vector's exact order, indices stay meaningful across a
+    /// child search that is applied and rewound in between.
+    #[inline]
+    pub(crate) fn ready_at(&self, i: usize) -> DagNodeId {
+        self.ready[i]
+    }
+
+    /// Current Zobrist hash of (occupancy, executed set).
+    #[inline]
+    pub(crate) fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Current journal position; pass to [`rewind_to`](Self::rewind_to).
+    #[inline]
+    pub(crate) fn mark(&self) -> Mark {
+        self.journal.len()
+    }
+
+    /// Places `program` on the empty `location`.
+    pub(crate) fn place(&mut self, keys: &ZobristKeys, program: NodeId, location: NodeId) {
+        debug_assert_eq!(self.position[program], UNPLACED);
+        debug_assert_eq!(self.occupant[location], UNPLACED);
+        self.position[program] = location;
+        self.occupant[location] = program;
+        self.hash ^= keys.occupancy(location, program);
+        self.journal.push(UndoOp::Place { program });
+    }
+
+    /// Executes the ready node `node`, updating predecessor counts and the
+    /// ready set incrementally.
+    pub(crate) fn execute(&mut self, keys: &ZobristKeys, dag: &DependencyDag, node: DagNodeId) {
+        debug_assert!(!self.executed[node]);
+        let ready_index = self.ready_pos[node];
+        debug_assert_ne!(ready_index, NOT_READY, "executed node must be ready");
+        self.ready.swap_remove(ready_index);
+        self.ready_pos[node] = NOT_READY;
+        if let Some(&moved) = self.ready.get(ready_index) {
+            self.ready_pos[moved] = ready_index;
+        }
+        self.executed[node] = true;
+        self.executed_count += 1;
+        self.hash ^= keys.executed(node);
+        for &s in dag.successors(node) {
+            self.remaining_preds[s] -= 1;
+            if self.remaining_preds[s] == 0 {
+                self.ready_pos[s] = self.ready.len();
+                self.ready.push(s);
+            }
+        }
+        self.journal.push(UndoOp::Execute { node, ready_index });
+    }
+
+    /// Swaps the occupants of coupler endpoints `a` and `b`.
+    pub(crate) fn apply_swap(&mut self, keys: &ZobristKeys, a: NodeId, b: NodeId) {
+        self.raw_swap(keys, a, b);
+        self.journal.push(UndoOp::Swap { a, b });
+    }
+
+    /// Rewinds the journal (and hence the state, bit for bit) to `mark`.
+    pub(crate) fn rewind_to(&mut self, keys: &ZobristKeys, dag: &DependencyDag, mark: Mark) {
+        while self.journal.len() > mark {
+            match self.journal.pop().expect("journal entry") {
+                UndoOp::Place { program } => {
+                    let location = self.position[program];
+                    self.hash ^= keys.occupancy(location, program);
+                    self.position[program] = UNPLACED;
+                    self.occupant[location] = UNPLACED;
+                }
+                UndoOp::Execute { node, ready_index } => {
+                    // Successors were appended to `ready` in forward order,
+                    // so popping them in reverse order restores the vector to
+                    // the instant after `node`'s own swap-remove…
+                    for &s in dag.successors(node).iter().rev() {
+                        self.remaining_preds[s] += 1;
+                        if self.remaining_preds[s] == 1 {
+                            let popped = self.ready.pop().expect("newly ready at tail");
+                            debug_assert_eq!(popped, s);
+                            self.ready_pos[s] = NOT_READY;
+                        }
+                    }
+                    // …and re-inserting `node` at its recorded index (moving
+                    // the displaced element back to the tail) reverses the
+                    // swap-remove itself, restoring the exact order.
+                    if ready_index == self.ready.len() {
+                        self.ready.push(node);
+                    } else {
+                        let displaced = self.ready[ready_index];
+                        self.ready_pos[displaced] = self.ready.len();
+                        self.ready.push(displaced);
+                        self.ready[ready_index] = node;
+                    }
+                    self.ready_pos[node] = ready_index;
+                    self.executed[node] = false;
+                    self.executed_count -= 1;
+                    self.hash ^= keys.executed(node);
+                }
+                UndoOp::Swap { a, b } => self.raw_swap(keys, a, b),
+            }
+        }
+    }
+
+    /// Swap without journaling (shared by do and undo; a SWAP is self-inverse).
+    fn raw_swap(&mut self, keys: &ZobristKeys, a: NodeId, b: NodeId) {
+        let qa = self.occupant[a];
+        let qb = self.occupant[b];
+        if qa != UNPLACED {
+            self.hash ^= keys.occupancy(a, qa) ^ keys.occupancy(b, qa);
+            self.position[qa] = b;
+        }
+        if qb != UNPLACED {
+            self.hash ^= keys.occupancy(b, qb) ^ keys.occupancy(a, qb);
+            self.position[qb] = a;
+        }
+        self.occupant[a] = qb;
+        self.occupant[b] = qa;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubikos_circuit::{Circuit, Gate};
+
+    fn sample() -> (DependencyDag, ZobristKeys) {
+        let c = Circuit::from_gates(3, [Gate::cx(0, 1), Gate::cx(1, 2), Gate::cx(0, 2)]);
+        let dag = DependencyDag::from_circuit(&c);
+        let keys = ZobristKeys::new(4, 3, 3, dag.len());
+        (dag, keys)
+    }
+
+    #[test]
+    fn rewind_restores_everything_including_ready_order() {
+        let (dag, keys) = sample();
+        let mut state = SearchState::new(&dag, 4, 3);
+        let mark = state.mark();
+        let ready_before: Vec<_> = (0..state.ready_len()).map(|i| state.ready_at(i)).collect();
+        let hash_before = state.hash();
+
+        state.place(&keys, 0, 0);
+        state.place(&keys, 1, 1);
+        state.execute(&keys, &dag, 0);
+        state.apply_swap(&keys, 1, 2);
+        assert_eq!(state.executed_count(), 1);
+        assert_eq!(state.position(1), 2);
+        assert_ne!(state.hash(), hash_before);
+
+        state.rewind_to(&keys, &dag, mark);
+        assert_eq!(state.executed_count(), 0);
+        assert_eq!(state.position(0), UNPLACED);
+        assert_eq!(state.position(1), UNPLACED);
+        assert_eq!(state.occupant(0), UNPLACED);
+        assert_eq!(state.hash(), hash_before);
+        let ready_after: Vec<_> = (0..state.ready_len()).map(|i| state.ready_at(i)).collect();
+        assert_eq!(ready_after, ready_before);
+    }
+
+    #[test]
+    fn execute_unlocks_successors() {
+        let (dag, keys) = sample();
+        let mut state = SearchState::new(&dag, 4, 3);
+        assert_eq!(state.ready_len(), 1);
+        state.place(&keys, 0, 0);
+        state.place(&keys, 1, 1);
+        state.execute(&keys, &dag, 0);
+        // Gate 1 (qubits 1,2) becomes ready once gate 0 executed.
+        assert_eq!(state.ready_len(), 1);
+        assert_eq!(state.ready_at(0), 1);
+        assert!(state.is_executed(0));
+    }
+
+    #[test]
+    fn swap_moves_occupants_and_hash_is_move_order_independent() {
+        let (dag, keys) = sample();
+        let mut state = SearchState::new(&dag, 4, 3);
+        state.place(&keys, 0, 0);
+        state.place(&keys, 1, 1);
+        state.apply_swap(&keys, 0, 1);
+        let swapped_hash = state.hash();
+        assert_eq!(state.occupant(0), 1);
+        assert_eq!(state.occupant(1), 0);
+
+        // Reaching the same occupancy by direct placement hashes identically.
+        let mut direct = SearchState::new(&dag, 4, 3);
+        direct.place(&keys, 1, 0);
+        direct.place(&keys, 0, 1);
+        assert_eq!(direct.hash(), swapped_hash);
+    }
+}
