@@ -7,7 +7,7 @@
 //! job per circuit, per-worker router reuse) and the binary only parses
 //! flags and renders.
 
-use qubikos::{generate_suite, ExperimentPoint, SuiteConfig};
+use qubikos::{generate_suite, ExperimentPoint, GenerateError, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
 use qubikos_engine::{Engine, NullSink, ProgressSink, AUTO_THREADS};
 use qubikos_layout::{validate_routing, Router, SabreConfig, SabreRouter};
@@ -118,14 +118,26 @@ pub struct AblationReport {
 }
 
 /// Runs all three ablation sweeps.
-pub fn run_ablations(config: &AblationConfig) -> AblationReport {
+///
+/// # Errors
+///
+/// Propagates [`GenerateError`] on suite misconfiguration instead of
+/// panicking.
+pub fn run_ablations(config: &AblationConfig) -> Result<AblationReport, GenerateError> {
     run_ablations_with_sink(config, &NullSink)
 }
 
 /// [`run_ablations`] with a caller-supplied progress/metrics sink.
-pub fn run_ablations_with_sink(config: &AblationConfig, sink: &dyn ProgressSink) -> AblationReport {
+///
+/// # Errors
+///
+/// As [`run_ablations`].
+pub fn run_ablations_with_sink(
+    config: &AblationConfig,
+    sink: &dyn ProgressSink,
+) -> Result<AblationReport, GenerateError> {
     let arch = config.device.build();
-    let suite = generate_suite(&arch, &config.suite).expect("suite generation succeeds");
+    let suite = generate_suite(&arch, &config.suite)?;
 
     // Ablation 1: SABRE trial count.
     let trial_counts = config
@@ -174,9 +186,8 @@ pub fn run_ablations_with_sink(config: &AblationConfig, sink: &dyn ProgressSink)
                     two_qubit_gates: gates,
                     base_seed: config.padding_base_seed,
                 },
-            )
-            .expect("suite generation succeeds");
-            AblationPoint {
+            )?;
+            Ok(AblationPoint {
                 parameter: gates,
                 mean_swap_ratio: mean_ratio_on(
                     &arch,
@@ -187,17 +198,17 @@ pub fn run_ablations_with_sink(config: &AblationConfig, sink: &dyn ProgressSink)
                     config.threads,
                     sink,
                 ),
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, GenerateError>>()?;
 
-    AblationReport {
+    Ok(AblationReport {
         device: config.device,
         trial_counts,
         extended_set_sizes,
         padding_gate_budgets,
         padding_swap_count: config.padding_swap_count,
-    }
+    })
 }
 
 /// Mean SWAP ratio of one router configuration over a suite, computed on the
@@ -238,7 +249,7 @@ mod tests {
     #[test]
     fn quick_ablations_cover_every_sweep_point() {
         let config = AblationConfig::quick().with_threads(2);
-        let report = run_ablations(&config);
+        let report = run_ablations(&config).expect("valid config");
         assert_eq!(report.trial_counts.len(), 2);
         assert_eq!(report.extended_set_sizes.len(), 2);
         assert_eq!(report.padding_gate_budgets.len(), 2);
@@ -257,8 +268,8 @@ mod tests {
 
     #[test]
     fn reports_identical_across_thread_counts() {
-        let reference = run_ablations(&AblationConfig::quick().with_threads(1));
-        let parallel = run_ablations(&AblationConfig::quick().with_threads(8));
+        let reference = run_ablations(&AblationConfig::quick().with_threads(1)).expect("valid");
+        let parallel = run_ablations(&AblationConfig::quick().with_threads(8)).expect("valid");
         assert_eq!(reference, parallel);
     }
 }

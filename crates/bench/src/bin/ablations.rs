@@ -1,24 +1,15 @@
 //! Design ablations called out in DESIGN.md: how the SABRE trial count and
 //! extended-set size change the optimality gap, and how redundant-gate
-//! padding changes benchmark difficulty. The sweeps themselves live in
-//! [`qubikos_bench::ablations`] and run on the shared execution engine.
+//! padding changes benchmark difficulty. Thin wrapper over
+//! [`qubikos_bench::cli::ablations_command`] — `qubikos ablations` is the
+//! same command under the unified CLI.
 //!
 //! ```text
 //! ablations
 //! ablations --threads 8   # explicit worker count (default: all cores)
 //! ```
 
-use qubikos_bench::ablations::{run_ablations_with_sink, AblationConfig};
-use qubikos_bench::report::render_ablations;
-use qubikos_engine::{threads_from_args, StderrProgress, AUTO_THREADS};
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config =
-        AblationConfig::paper().with_threads(threads_from_args(&args).unwrap_or(AUTO_THREADS));
-    // One sink across all sweeps: each engine run restarts the progress
-    // counter, so the multi-minute paper sweep streams per-run progress.
-    let progress = StderrProgress::new("ablations", 3);
-    let report = run_ablations_with_sink(&config, &progress);
-    print!("{}", render_ablations(&report));
+    qubikos_bench::cli::exit_with(qubikos_bench::cli::ablations_command(&args));
 }

@@ -1,101 +1,20 @@
 //! Exports a QUBIKOS benchmark suite to disk so external toolchains
-//! (Qiskit, t|ket⟩, QMAP, …) can be evaluated on the same instances.
+//! (Qiskit, t|ket⟩, QMAP, …) can be evaluated on the same instances. Thin
+//! wrapper over [`qubikos_bench::cli::suite_export_command`] — `qubikos
+//! suite export` is the same command under the unified CLI.
 //!
-//! Each instance is written as an OpenQASM 2.0 file plus a JSON sidecar with
-//! the metadata a fair evaluation needs: the optimal SWAP count, the optimal
-//! initial mapping, and the generator seed.
-//!
-//! Generation + export runs on the shared execution engine, one job per
-//! instance: `SuiteConfig::instance_seed` makes each job an independent,
-//! order-free unit, so exporting a full Eagle-127 suite parallelizes across
-//! every core while producing byte-identical files to a sequential export.
+//! The exported directory is a *store*: `manifest.json` records each
+//! instance's seed, designed SWAP count, and QASM content hash, so
+//! `qubikos eval --suite DIR` can run from it (with result caching) and
+//! `qubikos suite verify --suite DIR` can re-check its integrity. Each
+//! instance additionally gets a JSON metadata sidecar with the optimal
+//! initial mapping for fair external evaluations.
 //!
 //! ```text
 //! export_suite --arch aspen4 --out qubikos_suite [--full] [--threads 8]
 //! ```
 
-use qubikos::{generate, GeneratorConfig, SuiteConfig};
-use qubikos_arch::DeviceKind;
-use qubikos_circuit::to_qasm;
-use qubikos_engine::{threads_from_args, Engine, StderrProgress, AUTO_THREADS};
-use std::path::PathBuf;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let arg_value = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let device = arg_value("--arch")
-        .and_then(|name| DeviceKind::parse(&name))
-        .unwrap_or(DeviceKind::Aspen4);
-    let out_dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| "qubikos_suite".to_string()));
-    let full = args.iter().any(|a| a == "--full");
-    let threads = threads_from_args(&args).unwrap_or(AUTO_THREADS);
-
-    let arch = device.build();
-    let mut suite_config = SuiteConfig::paper_evaluation(device);
-    if !full {
-        suite_config = suite_config.with_circuits_per_count(2);
-    }
-    std::fs::create_dir_all(&out_dir)?;
-
-    // One job per instance of the (SWAP count × instance) grid; the derived
-    // per-instance seed makes generation order-independent.
-    let jobs: Vec<(usize, usize)> = suite_config
-        .swap_counts
-        .iter()
-        .enumerate()
-        .flat_map(|(count_index, _)| {
-            (0..suite_config.circuits_per_count).map(move |instance| (count_index, instance))
-        })
-        .collect();
-
-    let progress = StderrProgress::new(format!("export {}", device.name()), 10);
-    let written = Engine::new(threads)
-        .with_base_seed(suite_config.base_seed)
-        .run_values(
-            &jobs,
-            |_worker| (),
-            |(), _ctx, &(count_index, instance)| -> Result<String, String> {
-                let swap_count = suite_config.swap_counts[count_index];
-                let seed = suite_config.instance_seed(count_index, instance);
-                let gen_config =
-                    GeneratorConfig::new(swap_count, suite_config.two_qubit_gates).with_seed(seed);
-                let benchmark =
-                    generate(&arch, &gen_config).map_err(|e| format!("generate: {e:?}"))?;
-                let stem = format!("{}_swaps{}_inst{}", device.name(), swap_count, instance);
-                std::fs::write(
-                    out_dir.join(format!("{stem}.qasm")),
-                    to_qasm(benchmark.circuit()),
-                )
-                .map_err(|e| format!("write {stem}.qasm: {e}"))?;
-                let metadata = serde_json::json!({
-                    "architecture": benchmark.architecture(),
-                    "optimal_swaps": benchmark.optimal_swaps(),
-                    "two_qubit_gates": benchmark.circuit().two_qubit_gate_count(),
-                    "seed": seed,
-                    "optimal_initial_mapping": benchmark.reference_mapping().as_slice(),
-                });
-                let json = serde_json::to_string_pretty(&metadata)
-                    .map_err(|e| format!("serialize {stem}.json: {e}"))?;
-                std::fs::write(out_dir.join(format!("{stem}.json")), json)
-                    .map_err(|e| format!("write {stem}.json: {e}"))?;
-                Ok(stem)
-            },
-            &progress,
-        )
-        .unwrap_or_else(|error| panic!("suite export aborted: {error}"));
-
-    // Surface the first per-job error (job order, so reproducible).
-    let exported = written.into_iter().collect::<Result<Vec<_>, _>>()?;
-    println!(
-        "wrote {} instances for {} to {}",
-        exported.len(),
-        device.name(),
-        out_dir.display()
-    );
-    Ok(())
+    qubikos_bench::cli::exit_with(qubikos_bench::cli::suite_export_command(&args));
 }

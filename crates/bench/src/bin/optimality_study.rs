@@ -1,38 +1,18 @@
 //! Regenerates the §IV-A optimality study: every generated circuit is
 //! re-verified (certificate always, exhaustive exact solver on the small
-//! SWAP counts) to confirm it needs exactly its designed SWAP count.
+//! SWAP counts) to confirm it needs exactly its designed SWAP count. Thin
+//! wrapper over [`qubikos_bench::cli::optimality_command`] — `qubikos
+//! optimality` is the same command under the unified CLI.
 //!
 //! ```text
 //! optimality_study              # quick run (5 circuits per SWAP count)
 //! optimality_study --full       # the paper's 100 circuits per SWAP count
 //! optimality_study --smoke      # smallest complete run, used by nightly CI
 //! optimality_study --threads 8  # explicit worker count (default: all cores)
+//! optimality_study --suite DIR  # verify a stored suite + result cache
 //! ```
-
-use qubikos_bench::optimality::{run_optimality_study_with_sink, OptimalityConfig};
-use qubikos_bench::report::render_optimality;
-use qubikos_engine::{threads_from_args, StderrProgress, AUTO_THREADS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = if args.iter().any(|a| a == "--full") {
-        OptimalityConfig::paper()
-    } else if args.iter().any(|a| a == "--smoke") {
-        OptimalityConfig::smoke()
-    } else {
-        OptimalityConfig::quick()
-    }
-    .with_threads(threads_from_args(&args).unwrap_or(AUTO_THREADS));
-    eprintln!(
-        "verifying {} circuits per device on {:?}...",
-        config.suite.total_circuits(),
-        config.devices.iter().map(|d| d.name()).collect::<Vec<_>>()
-    );
-    let progress = StderrProgress::new("optimality study", 50);
-    let report = run_optimality_study_with_sink(&config, &progress);
-    print!("{}", render_optimality(&report));
-    if report.failures > 0 {
-        eprintln!("ERROR: {} circuits failed verification", report.failures);
-        std::process::exit(1);
-    }
+    qubikos_bench::cli::exit_with(qubikos_bench::cli::optimality_command(&args));
 }

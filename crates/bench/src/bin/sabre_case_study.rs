@@ -1,6 +1,8 @@
 //! Regenerates the §IV-C LightSABRE case study: starting from the optimal
 //! initial mapping, compare the stock uniform extended-set lookahead with the
-//! decayed lookahead the paper proposes.
+//! decayed lookahead the paper proposes. Thin wrapper over
+//! [`qubikos_bench::cli::case_study_command`] — `qubikos case-study` is the
+//! same command under the unified CLI.
 //!
 //! ```text
 //! sabre_case_study                 # Aspen-4, decay 0.7
@@ -8,42 +10,7 @@
 //! sabre_case_study --threads 8     # explicit worker count (default: all cores)
 //! ```
 
-use qubikos_arch::DeviceKind;
-use qubikos_bench::case_study::{run_case_study, CaseStudyConfig};
-use qubikos_bench::report::render_case_study;
-use qubikos_engine::{threads_from_args, AUTO_THREADS};
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let decay = args
-        .iter()
-        .position(|a| a == "--decay")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(0.7);
-    let full = args.iter().any(|a| a == "--full");
-    let threads = threads_from_args(&args).unwrap_or(AUTO_THREADS);
-    // The lookahead effect the paper analyses only shows up once the padding
-    // is dense enough to mislead the extended set, so the default run already
-    // uses the paper's Aspen-4 gate budget (300 two-qubit gates).
-    let (swap_counts, circuits): (Vec<usize>, usize) = if full {
-        (vec![5, 10, 15, 20], 10)
-    } else {
-        (vec![4, 8, 12], 3)
-    };
-    // Aspen-4 with the paper's gate budget, plus Sycamore where routing from
-    // the optimal mapping is harder and lookahead weighting actually matters.
-    for (device, gates) in [(DeviceKind::Aspen4, 300), (DeviceKind::Sycamore54, 600)] {
-        let config = CaseStudyConfig {
-            device,
-            swap_counts: swap_counts.clone(),
-            circuits_per_count: circuits,
-            two_qubit_gates: gates,
-            decay,
-            seed: 11,
-            threads,
-        };
-        let outcome = run_case_study(&config);
-        print!("{}", render_case_study(&outcome));
-    }
+    qubikos_bench::cli::exit_with(qubikos_bench::cli::case_study_command(&args));
 }

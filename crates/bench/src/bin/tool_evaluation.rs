@@ -1,93 +1,18 @@
 //! Regenerates Figure 4 of the paper: SWAP-ratio optimality gaps of four QLS
-//! tools on the evaluation architectures.
+//! tools on the evaluation architectures. Thin wrapper over
+//! [`qubikos_bench::cli::eval_command`] — `qubikos eval` is the same command
+//! under the unified CLI.
 //!
 //! ```text
 //! tool_evaluation                 # quick run, all four devices
 //! tool_evaluation --arch aspen4   # one device
 //! tool_evaluation --full          # the paper's full circuit counts (slow)
-//! tool_evaluation --all           # all devices plus the aggregate table
 //! tool_evaluation --threads 8     # explicit worker count (default: all cores)
 //! tool_evaluation --timing-json engine_timings.json   # per-job timing export
+//! tool_evaluation --suite DIR     # run from a stored suite + result cache
 //! ```
-
-use qubikos_arch::DeviceKind;
-use qubikos_bench::evaluation::{
-    aggregate_by_tool, run_tool_evaluation_with_sink, EvaluationConfig,
-};
-use qubikos_bench::report::{render_aggregate, render_evaluation};
-use qubikos_engine::{threads_from_args, StderrProgress, TeeSink, TimingSink, AUTO_THREADS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let all = args.iter().any(|a| a == "--all") || !args.iter().any(|a| a == "--arch");
-    let threads = threads_from_args(&args).unwrap_or(AUTO_THREADS);
-    let timing_path = args.iter().position(|a| a == "--timing-json").map(|i| {
-        let value = args
-            .get(i + 1)
-            .unwrap_or_else(|| panic!("--timing-json requires an output path"));
-        assert!(
-            !value.starts_with("--"),
-            "--timing-json requires an output path, found flag `{value}`"
-        );
-        value.clone()
-    });
-    let device_filter = args
-        .iter()
-        .position(|a| a == "--arch")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|name| DeviceKind::parse(name));
-
-    let devices: Vec<DeviceKind> = match (device_filter, all) {
-        (Some(device), _) => vec![device],
-        (None, _) => DeviceKind::EVALUATION.to_vec(),
-    };
-
-    let mut reports = Vec::new();
-    let mut timings = Vec::new();
-    for device in devices {
-        let config = if full {
-            EvaluationConfig::paper(device)
-        } else {
-            EvaluationConfig::quick(device)
-        }
-        .with_threads(threads);
-        eprintln!(
-            "running tool evaluation on {} ({} circuits, {} two-qubit gates each)...",
-            device.name(),
-            config.suite.total_circuits(),
-            config.suite.two_qubit_gates
-        );
-        // Progress always streams to stderr; a fresh per-device timing sink
-        // rides along only when exporting, so job ids in the export never
-        // collide across devices and runs without --timing-json pay nothing.
-        let progress = StderrProgress::new(format!("evaluate {}", device.name()), 20);
-        let timing = TimingSink::new();
-        let mut sinks: Vec<&dyn qubikos_engine::ProgressSink> = vec![&progress];
-        if timing_path.is_some() {
-            sinks.push(&timing);
-        }
-        let report = run_tool_evaluation_with_sink(&config, &TeeSink::new(sinks));
-        if timing_path.is_some() {
-            timings.push((
-                device.name(),
-                timing.report().expect("evaluation run finished"),
-            ));
-        }
-        println!("{}", render_evaluation(&report));
-        reports.push(report);
-    }
-    if reports.len() > 1 {
-        println!("{}", render_aggregate(&aggregate_by_tool(&reports)));
-    }
-    if let Some(path) = timing_path {
-        // One timing report per device, keyed by device name.
-        let by_device: Vec<(String, _)> = timings
-            .into_iter()
-            .map(|(name, report)| (name.to_string(), report))
-            .collect();
-        let json = serde_json::to_string_pretty(&by_device).expect("timing reports serialize");
-        std::fs::write(&path, json).expect("timing JSON is writable");
-        eprintln!("wrote per-job timings to {path}");
-    }
+    qubikos_bench::cli::exit_with(qubikos_bench::cli::eval_command(&args));
 }

@@ -12,7 +12,7 @@
 //! study parallelizes across circuits while each worker reuses one uniform
 //! and one decayed router for all of its jobs.
 
-use qubikos::{generate_suite, ExperimentPoint, SuiteConfig};
+use qubikos::{generate_suite, ExperimentPoint, GenerateError, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
 use qubikos_engine::{Engine, NullSink, ProgressSink};
 use qubikos_layout::{validate_routing, SabreConfig, SabreRouter};
@@ -76,15 +76,24 @@ struct PointOutcome {
 }
 
 /// Runs the case study.
-pub fn run_case_study(config: &CaseStudyConfig) -> CaseStudyOutcome {
+///
+/// # Errors
+///
+/// Propagates [`GenerateError`] on suite misconfiguration instead of
+/// panicking.
+pub fn run_case_study(config: &CaseStudyConfig) -> Result<CaseStudyOutcome, GenerateError> {
     run_case_study_with_sink(config, &NullSink)
 }
 
 /// [`run_case_study`] with a caller-supplied progress/metrics sink.
+///
+/// # Errors
+///
+/// As [`run_case_study`].
 pub fn run_case_study_with_sink(
     config: &CaseStudyConfig,
     sink: &dyn ProgressSink,
-) -> CaseStudyOutcome {
+) -> Result<CaseStudyOutcome, GenerateError> {
     let arch = config.device.build();
     let suite_config = SuiteConfig {
         swap_counts: config.swap_counts.clone(),
@@ -92,7 +101,7 @@ pub fn run_case_study_with_sink(
         two_qubit_gates: config.two_qubit_gates,
         base_seed: config.seed,
     };
-    let suite = generate_suite(&arch, &suite_config).expect("suite generation succeeds");
+    let suite = generate_suite(&arch, &suite_config)?;
 
     let engine = Engine::new(config.threads).with_base_seed(config.seed);
     let outcomes = engine
@@ -125,7 +134,7 @@ pub fn run_case_study_with_sink(
     let mean = |select: &dyn Fn(&PointOutcome) -> f64| {
         outcomes.iter().map(select).sum::<f64>() / outcomes.len().max(1) as f64
     };
-    CaseStudyOutcome {
+    Ok(CaseStudyOutcome {
         device: config.device,
         circuits: outcomes.len(),
         uniform_lookahead_ratio: mean(&|o| o.uniform_ratio),
@@ -133,7 +142,7 @@ pub fn run_case_study_with_sink(
         decay: config.decay,
         uniform_optimal: outcomes.iter().filter(|o| o.uniform_optimal).count(),
         decayed_optimal: outcomes.iter().filter(|o| o.decayed_optimal).count(),
-    }
+    })
 }
 
 /// Routes one circuit from its known-optimal initial mapping and returns the
@@ -169,7 +178,7 @@ mod tests {
 
     #[test]
     fn case_study_reports_both_variants() {
-        let outcome = run_case_study(&tiny_config());
+        let outcome = run_case_study(&tiny_config()).expect("valid config");
         assert_eq!(outcome.circuits, 4);
         assert!(outcome.uniform_lookahead_ratio >= 1.0 - 1e-9);
         assert!(outcome.decayed_lookahead_ratio >= 1.0 - 1e-9);
@@ -180,9 +189,10 @@ mod tests {
 
     #[test]
     fn outcomes_identical_across_thread_counts() {
-        let reference = run_case_study(&tiny_config().with_threads(1));
+        let reference = run_case_study(&tiny_config().with_threads(1)).expect("valid config");
         for threads in [2usize, 8, AUTO_THREADS] {
-            let outcome = run_case_study(&tiny_config().with_threads(threads));
+            let outcome =
+                run_case_study(&tiny_config().with_threads(threads)).expect("valid config");
             assert_eq!(outcome, reference, "outcome diverged at threads={threads}");
         }
     }

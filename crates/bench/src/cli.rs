@@ -1,0 +1,505 @@
+//! The command layer shared by the unified `qubikos` CLI and the legacy
+//! per-command bins.
+//!
+//! Every experiment entry point (`eval`, `optimality`, `case-study`,
+//! `ablations`, `suite export`, `suite verify`) is one function taking the
+//! raw argument list, so the `qubikos` multiplexer bin and the original
+//! single-purpose bins (`tool_evaluation`, `optimality_study`, …) share one
+//! implementation and one flag vocabulary (parsed with the
+//! [`crate::microbench`] helpers). Commands return a process exit code —
+//! `Ok(0)` success, `Ok(1)` a completed run that found failures (e.g.
+//! optimality verification failures, or `--require-cached` with a cold
+//! cache) — and `Err` for configuration/IO errors.
+
+use crate::ablations::{run_ablations_with_sink, AblationConfig};
+use crate::case_study::{run_case_study, CaseStudyConfig};
+use crate::evaluation::{
+    aggregate_by_tool, run_suite_evaluation_with_sink, run_tool_evaluation_with_sink,
+    EvaluationConfig, SuiteEvalConfig,
+};
+use crate::microbench::{arg_value, flag_present};
+use crate::optimality::{
+    run_optimality_study_with_sink, run_suite_optimality_with_sink, OptimalityConfig,
+};
+use crate::report::{
+    render_ablations, render_aggregate, render_case_study, render_evaluation, render_optimality,
+};
+use crate::store::SuiteStore;
+use qubikos_arch::DeviceKind;
+use qubikos_engine::{
+    threads_from_args, ProgressSink, StderrProgress, TeeSink, TimingSink, AUTO_THREADS,
+};
+
+/// What a command hands back to `main`: a process exit code, or an error to
+/// render on stderr (exit code 2).
+pub type CommandOutcome = Result<i32, Box<dyn std::error::Error>>;
+
+/// Renders a command outcome and exits the process accordingly.
+pub fn exit_with(outcome: CommandOutcome) -> ! {
+    match outcome {
+        Ok(code) => std::process::exit(code),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `qubikos` CLI's top-level dispatcher.
+///
+/// # Errors
+///
+/// Propagates the dispatched command's error.
+pub fn dispatch(args: &[String]) -> CommandOutcome {
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return Ok(2);
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "suite" => match rest.first().map(String::as_str) {
+            Some("export") => suite_export_command(&rest[1..]),
+            Some("verify") => suite_verify_command(&rest[1..]),
+            _ => {
+                eprintln!("qubikos suite: expected `export` or `verify`\n\n{USAGE}");
+                Ok(2)
+            }
+        },
+        "eval" => eval_command(rest),
+        "optimality" => optimality_command(rest),
+        "case-study" => case_study_command(rest),
+        "ablations" => ablations_command(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        other => {
+            eprintln!("qubikos: unknown command `{other}`\n\n{USAGE}");
+            Ok(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+qubikos — the QUBIKOS benchmark and evaluation pipeline
+
+USAGE:
+  qubikos suite export [--arch DEV] [--out DIR] [--full] [--threads N]
+      Generate a benchmark suite and persist it (manifest.json + QASM files).
+      The suite matches what `qubikos eval` would generate in memory for the
+      same device, so stored and in-memory runs report identical numbers.
+  qubikos suite verify --suite DIR
+      Re-check every stored instance: manifest hash, QASM parse, and the
+      regeneration round trip.
+  qubikos eval [--arch DEV | --all] [--full] [--threads N]
+               [--timing-json PATH] [--suite DIR] [--require-cached]
+      Figure-4 tool evaluation. With --suite, runs from the stored corpus
+      and the content-addressed result cache (already-evaluated
+      (tool, circuit) pairs are not routed again); --require-cached exits
+      nonzero unless every pair was a cache hit. --arch/--full apply only
+      to in-memory runs (with --suite the manifest fixes both) and
+      --timing-json records the jobs that actually ran.
+  qubikos optimality [--full | --smoke] [--threads N] [--suite DIR]
+      §IV-A optimality study. With --suite, verifies the stored corpus,
+      consulting/filling the results/optimality cache; --full/--smoke
+      apply only to in-memory runs (the manifest fixes the suite shape).
+  qubikos case-study [--decay D] [--full] [--threads N]
+      §IV-C LightSABRE lookahead case study.
+  qubikos ablations [--threads N]
+      Design ablation sweeps.
+
+DEV: grid | aspen4 | sycamore | rochester | eagle";
+
+/// `qubikos suite export` / the `export_suite` bin.
+///
+/// # Errors
+///
+/// Store/generation errors.
+pub fn suite_export_command(args: &[String]) -> CommandOutcome {
+    let device = parse_arch(args)?.unwrap_or(DeviceKind::Aspen4);
+    let out = arg_value(args, "--out").unwrap_or_else(|| "qubikos_suite".to_string());
+    let threads = threads_from_args(args).unwrap_or(AUTO_THREADS);
+    // The exported suite is exactly the one `eval` generates in memory for
+    // the same device and mode, so `eval --suite` on the result reproduces
+    // the in-memory report bit-identically.
+    let eval_config = if flag_present(args, "--full") {
+        EvaluationConfig::paper(device)
+    } else {
+        EvaluationConfig::quick(device)
+    };
+    let progress = StderrProgress::new(format!("export {}", device.name()), 10);
+    let store = SuiteStore::export(&out, device, &eval_config.suite, threads, &progress)?;
+    println!(
+        "wrote {} instances + manifest for {} to {}",
+        store.manifest().instances.len(),
+        device.name(),
+        store.root().display()
+    );
+    Ok(0)
+}
+
+/// Parses `--arch`, erroring on an unrecognized device name instead of
+/// silently falling back to a default (a typo must never quietly evaluate
+/// the wrong device).
+fn parse_arch(args: &[String]) -> Result<Option<DeviceKind>, Box<dyn std::error::Error>> {
+    match arg_value(args, "--arch") {
+        None => Ok(None),
+        Some(name) => match DeviceKind::parse(&name) {
+            Some(device) => Ok(Some(device)),
+            None => Err(format!(
+                "unknown --arch `{name}` (expected grid | aspen4 | sycamore | rochester | eagle)"
+            )
+            .into()),
+        },
+    }
+}
+
+/// Parses `--suite DIR`, erroring when the flag is present without a usable
+/// value — a forgotten directory must never silently degrade into the
+/// (expensive, differently-scoped) in-memory pipeline.
+fn suite_flag(args: &[String]) -> Result<Option<String>, Box<dyn std::error::Error>> {
+    match arg_value(args, "--suite") {
+        Some(value) if value.starts_with("--") => {
+            Err(format!("--suite requires a directory path, found flag `{value}`").into())
+        }
+        Some(value) => Ok(Some(value)),
+        None if flag_present(args, "--suite") => Err("--suite requires a directory path".into()),
+        None => Ok(None),
+    }
+}
+
+/// `qubikos suite verify`.
+///
+/// # Errors
+///
+/// Store errors, including the first hash/parse/round-trip violation.
+pub fn suite_verify_command(args: &[String]) -> CommandOutcome {
+    let dir = suite_flag(args)?
+        .ok_or("suite verify requires --suite DIR (the exported suite directory)")?;
+    let store = SuiteStore::open(&dir)?;
+    let outcome = store.verify()?;
+    println!(
+        "verified {} instances of {} in {} (hashes, QASM parse, regeneration round trip)",
+        outcome.instances,
+        store.device().name(),
+        store.root().display()
+    );
+    Ok(0)
+}
+
+/// `qubikos eval` / the `tool_evaluation` bin.
+///
+/// # Errors
+///
+/// Generation or store errors.
+pub fn eval_command(args: &[String]) -> CommandOutcome {
+    let threads = threads_from_args(args).unwrap_or(AUTO_THREADS);
+    let full = flag_present(args, "--full");
+    let timing_path = match arg_value(args, "--timing-json") {
+        Some(value) if value.starts_with("--") => {
+            return Err(
+                format!("--timing-json requires an output path, found flag `{value}`").into(),
+            )
+        }
+        Some(value) => Some(value),
+        None if flag_present(args, "--timing-json") => {
+            return Err("--timing-json requires an output path".into())
+        }
+        None => None,
+    };
+
+    if let Some(dir) = suite_flag(args)? {
+        // Flags that would silently contradict the stored manifest are
+        // rejected rather than ignored.
+        if full {
+            return Err(
+                "--full has no effect with --suite: the stored manifest fixes the \
+                        suite shape; re-export with `suite export --full` instead"
+                    .into(),
+            );
+        }
+        if parse_arch(args)?.is_some() {
+            return Err(
+                "--arch has no effect with --suite: the stored manifest fixes the \
+                        device"
+                    .into(),
+            );
+        }
+        let store = SuiteStore::open(&dir)?;
+        let config = SuiteEvalConfig::default().with_threads(threads);
+        let progress =
+            StderrProgress::new(format!("evaluate {} (suite)", store.device().name()), 20);
+        let timing = TimingSink::new();
+        let mut sinks: Vec<&dyn ProgressSink> = vec![&progress];
+        if timing_path.is_some() {
+            sinks.push(&timing);
+        }
+        let outcome = run_suite_evaluation_with_sink(&store, &config, &TeeSink::new(sinks))?;
+        println!("{}", render_evaluation(&outcome.report));
+        eprintln!(
+            "suite evaluation: {} (tool, circuit) pairs routed, {} served from cache",
+            outcome.routed, outcome.cache_hits
+        );
+        if let Some(path) = timing_path {
+            // Same shape as the in-memory export: (device, report) pairs —
+            // here a single device whose jobs are the cache misses.
+            let timings = vec![(
+                store.device().name().to_string(),
+                timing.report().expect("evaluation run finished"),
+            )];
+            let json = serde_json::to_string_pretty(&timings).expect("timing reports serialize");
+            std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote per-job timings to {path}");
+        }
+        if flag_present(args, "--require-cached") && outcome.routed > 0 {
+            eprintln!(
+                "ERROR: --require-cached but {} pairs were routed fresh",
+                outcome.routed
+            );
+            return Ok(1);
+        }
+        return Ok(0);
+    }
+
+    // An in-memory run has no cache to assert against: a bare
+    // --require-cached would "pass" while checking nothing.
+    if flag_present(args, "--require-cached") {
+        return Err(
+            "--require-cached requires --suite DIR (only stored suites have a \
+                    result cache)"
+                .into(),
+        );
+    }
+
+    let devices: Vec<DeviceKind> = match parse_arch(args)? {
+        Some(device) => vec![device],
+        None => DeviceKind::EVALUATION.to_vec(),
+    };
+
+    let mut reports = Vec::new();
+    let mut timings = Vec::new();
+    for device in devices {
+        let config = if full {
+            EvaluationConfig::paper(device)
+        } else {
+            EvaluationConfig::quick(device)
+        }
+        .with_threads(threads);
+        eprintln!(
+            "running tool evaluation on {} ({} circuits, {} two-qubit gates each)...",
+            device.name(),
+            config.suite.total_circuits(),
+            config.suite.two_qubit_gates
+        );
+        // Progress always streams to stderr; a fresh per-device timing sink
+        // rides along only when exporting, so job ids in the export never
+        // collide across devices and runs without --timing-json pay nothing.
+        let progress = StderrProgress::new(format!("evaluate {}", device.name()), 20);
+        let timing = TimingSink::new();
+        let mut sinks: Vec<&dyn ProgressSink> = vec![&progress];
+        if timing_path.is_some() {
+            sinks.push(&timing);
+        }
+        let report = run_tool_evaluation_with_sink(&config, &TeeSink::new(sinks))?;
+        if timing_path.is_some() {
+            timings.push((
+                device.name().to_string(),
+                timing.report().expect("evaluation run finished"),
+            ));
+        }
+        println!("{}", render_evaluation(&report));
+        reports.push(report);
+    }
+    if reports.len() > 1 {
+        println!("{}", render_aggregate(&aggregate_by_tool(&reports)));
+    }
+    if let Some(path) = timing_path {
+        // One timing report per device, keyed by device name.
+        let json = serde_json::to_string_pretty(&timings).expect("timing reports serialize");
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote per-job timings to {path}");
+    }
+    Ok(0)
+}
+
+/// `qubikos optimality` / the `optimality_study` bin.
+///
+/// # Errors
+///
+/// Generation or store errors.
+pub fn optimality_command(args: &[String]) -> CommandOutcome {
+    let full = flag_present(args, "--full");
+    let smoke = flag_present(args, "--smoke");
+    let config = if full {
+        OptimalityConfig::paper()
+    } else if smoke {
+        OptimalityConfig::smoke()
+    } else {
+        OptimalityConfig::quick()
+    }
+    .with_threads(threads_from_args(args).unwrap_or(AUTO_THREADS));
+
+    if let Some(dir) = suite_flag(args)? {
+        // The presets differ only in suite shape and devices — exactly the
+        // two things the stored manifest fixes — so combining them with
+        // --suite would silently verify a different corpus than the flag
+        // suggests. Reject instead of half-applying.
+        if full || smoke {
+            return Err(
+                "--full/--smoke have no effect with --suite: the stored manifest \
+                        fixes the suite shape; re-export the corpus at the desired scale \
+                        instead"
+                    .into(),
+            );
+        }
+        let store = SuiteStore::open(&dir)?;
+        eprintln!(
+            "verifying {} stored circuits on {}...",
+            store.manifest().instances.len(),
+            store.device().name()
+        );
+        let progress = StderrProgress::new("optimality study (suite)".to_string(), 50);
+        let outcome = run_suite_optimality_with_sink(&store, &config, &progress)?;
+        print!("{}", render_optimality(&outcome.report));
+        eprintln!(
+            "suite optimality: {} circuits verified, {} served from cache",
+            outcome.verified, outcome.cache_hits
+        );
+        if outcome.report.failures > 0 {
+            eprintln!(
+                "ERROR: {} circuits failed verification",
+                outcome.report.failures
+            );
+            return Ok(1);
+        }
+        return Ok(0);
+    }
+
+    eprintln!(
+        "verifying {} circuits per device on {:?}...",
+        config.suite.total_circuits(),
+        config.devices.iter().map(|d| d.name()).collect::<Vec<_>>()
+    );
+    let progress = StderrProgress::new("optimality study".to_string(), 50);
+    let report = run_optimality_study_with_sink(&config, &progress)?;
+    print!("{}", render_optimality(&report));
+    if report.failures > 0 {
+        eprintln!("ERROR: {} circuits failed verification", report.failures);
+        return Ok(1);
+    }
+    Ok(0)
+}
+
+/// `qubikos case-study` / the `sabre_case_study` bin.
+///
+/// # Errors
+///
+/// Generation errors.
+pub fn case_study_command(args: &[String]) -> CommandOutcome {
+    let decay = arg_value(args, "--decay")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.7);
+    let full = flag_present(args, "--full");
+    let threads = threads_from_args(args).unwrap_or(AUTO_THREADS);
+    // The lookahead effect the paper analyses only shows up once the padding
+    // is dense enough to mislead the extended set, so the default run already
+    // uses the paper's Aspen-4 gate budget (300 two-qubit gates).
+    let (swap_counts, circuits): (Vec<usize>, usize) = if full {
+        (vec![5, 10, 15, 20], 10)
+    } else {
+        (vec![4, 8, 12], 3)
+    };
+    // Aspen-4 with the paper's gate budget, plus Sycamore where routing from
+    // the optimal mapping is harder and lookahead weighting actually matters.
+    for (device, gates) in [(DeviceKind::Aspen4, 300), (DeviceKind::Sycamore54, 600)] {
+        let config = CaseStudyConfig {
+            device,
+            swap_counts: swap_counts.clone(),
+            circuits_per_count: circuits,
+            two_qubit_gates: gates,
+            decay,
+            seed: 11,
+            threads,
+        };
+        let outcome = run_case_study(&config)?;
+        print!("{}", render_case_study(&outcome));
+    }
+    Ok(0)
+}
+
+/// `qubikos ablations` / the `ablations` bin.
+///
+/// # Errors
+///
+/// Generation errors.
+pub fn ablations_command(args: &[String]) -> CommandOutcome {
+    let config =
+        AblationConfig::paper().with_threads(threads_from_args(args).unwrap_or(AUTO_THREADS));
+    // One sink across all sweeps: each engine run restarts the progress
+    // counter, so the multi-minute paper sweep streams per-run progress.
+    let progress = StderrProgress::new("ablations".to_string(), 3);
+    let report = run_ablations_with_sink(&config, &progress)?;
+    print!("{}", render_ablations(&report));
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        assert_eq!(dispatch(&args(&["frobnicate"])).unwrap(), 2);
+        assert_eq!(dispatch(&args(&[])).unwrap(), 2);
+        assert_eq!(dispatch(&args(&["suite"])).unwrap(), 2);
+        assert_eq!(dispatch(&args(&["suite", "destroy"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn dispatch_prints_help() {
+        assert_eq!(dispatch(&args(&["help"])).unwrap(), 0);
+        assert_eq!(dispatch(&args(&["--help"])).unwrap(), 0);
+    }
+
+    #[test]
+    fn suite_verify_requires_a_directory() {
+        assert!(suite_verify_command(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn unknown_arch_is_an_error_not_a_silent_fallback() {
+        assert!(suite_export_command(&args(&["--arch", "gird"])).is_err());
+        assert!(eval_command(&args(&["--arch", "gird"])).is_err());
+    }
+
+    #[test]
+    fn suite_mode_rejects_flags_the_manifest_overrides() {
+        assert!(eval_command(&args(&["--suite", "somewhere", "--full"])).is_err());
+        assert!(eval_command(&args(&["--suite", "somewhere", "--arch", "grid"])).is_err());
+        assert!(optimality_command(&args(&["--suite", "somewhere", "--full"])).is_err());
+        assert!(optimality_command(&args(&["--suite", "somewhere", "--smoke"])).is_err());
+    }
+
+    #[test]
+    fn trailing_suite_flag_is_an_error_not_an_in_memory_run() {
+        assert!(eval_command(&args(&["--suite"])).is_err());
+        assert!(optimality_command(&args(&["--suite"])).is_err());
+        assert!(eval_command(&args(&["--suite", "--threads", "2"])).is_err());
+    }
+
+    #[test]
+    fn require_cached_without_a_suite_is_an_error() {
+        assert!(eval_command(&args(&["--require-cached"])).is_err());
+    }
+
+    #[test]
+    fn eval_surfaces_store_errors_for_missing_suites() {
+        let missing = std::env::temp_dir().join("qubikos-cli-definitely-missing");
+        let arg_list = args(&["--suite", missing.to_str().expect("utf8 path")]);
+        assert!(eval_command(&arg_list).is_err());
+    }
+}

@@ -8,12 +8,30 @@
 //! it across all of its jobs — routers derive their RNG from their config
 //! seed on every `route` call, so reuse is bit-identical to rebuilding while
 //! skipping the per-circuit allocation and setup cost.
+//!
+//! Two entry points produce the same report:
+//!
+//! * [`run_tool_evaluation`] generates the suite in memory and routes every
+//!   (tool, circuit) pair — the original, self-contained pipeline;
+//! * [`run_suite_evaluation`] runs from a [`SuiteStore`] corpus on disk,
+//!   consulting the store's content-addressed result cache first: pairs the
+//!   cache already holds are *not routed at all*, so a repeated or resumed
+//!   run costs only the cache reads. Both report bit-identical numbers for
+//!   the same suite because routing is deterministic per (tool, circuit).
 
-use qubikos::{generate_suite, ExperimentPoint, SuiteConfig};
+use crate::store::{StoreError, SuiteStore};
+use qubikos::{generate_suite, ExperimentPoint, GenerateError, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
-use qubikos_engine::{Engine, NullSink, ProgressSink, AUTO_THREADS};
+use qubikos_engine::{Engine, JobKey, NullSink, ProgressSink, AUTO_THREADS};
 use qubikos_layout::{validate_routing, Router, ToolKind};
 use serde::{Deserialize, Serialize};
+
+/// The tool seed every standard evaluation hands to the routers. One
+/// constant shared by [`EvaluationConfig::paper`]/[`EvaluationConfig::quick`]
+/// and [`SuiteEvalConfig::default`], so the in-memory and suite-backed
+/// pipelines can never drift apart and silently break their bit-identical
+/// contract.
+pub const DEFAULT_TOOL_SEED: u64 = 7;
 
 /// Configuration of one tool-evaluation run (one subfigure of Figure 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,7 +57,7 @@ impl EvaluationConfig {
             device,
             suite: SuiteConfig::paper_evaluation(device),
             tools: ToolKind::ALL.to_vec(),
-            tool_seed: 7,
+            tool_seed: DEFAULT_TOOL_SEED,
             threads: AUTO_THREADS,
         }
     }
@@ -74,6 +92,11 @@ pub struct EvaluationCell {
     /// Average SWAPs the tool inserted.
     pub average_swaps: f64,
     /// Average SWAP ratio (the paper's optimality gap for this cell).
+    ///
+    /// For a zero-optimum cell (QUEKO-style circuits whose designed SWAP
+    /// count is 0) the ratio is undefined, so the cell reports the average
+    /// **absolute excess** SWAPs instead — `average_swaps - 0` — rather
+    /// than an infinity or NaN that would poison every aggregate above it.
     pub swap_ratio: f64,
 }
 
@@ -106,8 +129,24 @@ impl EvaluationReport {
     }
 }
 
+/// The cell-level gap metric, guarded for zero-optimum cells: the SWAP
+/// ratio where it is defined, the absolute excess SWAP count where it is
+/// not (see [`EvaluationCell::swap_ratio`]).
+fn cell_gap(average_swaps: f64, optimal_swaps: usize) -> f64 {
+    if optimal_swaps == 0 {
+        average_swaps
+    } else {
+        average_swaps / optimal_swaps as f64
+    }
+}
+
 /// Runs one subfigure of Figure 4: generates the QUBIKOS suite for the device
 /// and measures the SWAP ratio of every requested tool on every circuit.
+///
+/// # Errors
+///
+/// Propagates [`GenerateError`] on suite misconfiguration (zero SWAP count,
+/// unsupported architecture) instead of panicking.
 ///
 /// # Panics
 ///
@@ -115,12 +154,14 @@ impl EvaluationReport {
 /// tool, not a property of the benchmark, and must never be silently
 /// averaged into the results). The engine attributes the panic to the exact
 /// (tool, circuit) job that failed.
-pub fn run_tool_evaluation(config: &EvaluationConfig) -> EvaluationReport {
+pub fn run_tool_evaluation(config: &EvaluationConfig) -> Result<EvaluationReport, GenerateError> {
     run_tool_evaluation_with_sink(config, &NullSink)
 }
 
 /// [`run_tool_evaluation`] with a caller-supplied progress/metrics sink
 /// (stderr streaming in the CLI, per-job timing JSON in nightly CI).
+///
+/// # Errors
 ///
 /// # Panics
 ///
@@ -128,46 +169,293 @@ pub fn run_tool_evaluation(config: &EvaluationConfig) -> EvaluationReport {
 pub fn run_tool_evaluation_with_sink(
     config: &EvaluationConfig,
     sink: &dyn ProgressSink,
-) -> EvaluationReport {
+) -> Result<EvaluationReport, GenerateError> {
     let arch = config.device.build();
-    let suite = generate_suite(&arch, &config.suite).expect("suite generation succeeds");
+    let suite = generate_suite(&arch, &config.suite)?;
 
-    // One job per (tool, circuit) pair, point-major so the expensive large
+    // Route every (tool, circuit) pair, point-major so the expensive large
     // instances of different tools interleave across workers.
-    let jobs: Vec<(usize, &ExperimentPoint)> = suite
+    let jobs: Vec<(usize, usize)> = all_pairs(suite.len(), config.tools.len());
+    let swaps = route_jobs(
+        &arch,
+        &suite,
+        &config.tools,
+        config.tool_seed,
+        config.threads,
+        &jobs,
+        sink,
+    );
+
+    let point_swap_counts: Vec<usize> = suite.iter().map(|p| p.swap_count).collect();
+    Ok(assemble_report(
+        config.device,
+        &config.tools,
+        &config.suite.swap_counts,
+        &point_swap_counts,
+        &jobs,
+        &swaps,
+    ))
+}
+
+/// Configuration of a suite-backed evaluation: everything *except* the suite
+/// itself, which comes from the store's manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteEvalConfig {
+    /// Tools to evaluate.
+    pub tools: Vec<ToolKind>,
+    /// Seed handed to every tool. Cached results record the seed they were
+    /// produced with; an entry with a different seed is a cache miss.
+    pub tool_seed: u64,
+    /// Number of worker threads ([`AUTO_THREADS`] = all available cores).
+    pub threads: usize,
+}
+
+impl Default for SuiteEvalConfig {
+    /// All four tools with the evaluation pipeline's standard tool seed —
+    /// the same values [`EvaluationConfig::paper`] uses, so a suite-backed
+    /// run reproduces the in-memory pipeline's report.
+    fn default() -> Self {
+        SuiteEvalConfig {
+            tools: ToolKind::ALL.to_vec(),
+            tool_seed: DEFAULT_TOOL_SEED,
+            threads: AUTO_THREADS,
+        }
+    }
+}
+
+impl SuiteEvalConfig {
+    /// Returns the configuration with an explicit thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// One cached routing result: the `results/<tool>/<circuit-hash>.json`
+/// payload of the suite store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedRouting {
+    /// Tool that produced the result.
+    pub tool: String,
+    /// Seed the tool ran with.
+    pub tool_seed: u64,
+    /// Content hash of the routed circuit's QASM (redundant with the entry's
+    /// file name; stored for self-description and defense in depth).
+    pub circuit_hash: String,
+    /// SWAPs the tool inserted.
+    pub swaps: usize,
+}
+
+/// Result of a suite-backed evaluation: the report plus how much work the
+/// cache saved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteEvalOutcome {
+    /// The evaluation report (bit-identical to the in-memory pipeline's
+    /// report for the same suite).
+    pub report: EvaluationReport,
+    /// (tool, circuit) pairs actually routed in this run.
+    pub routed: usize,
+    /// (tool, circuit) pairs answered from the result cache.
+    pub cache_hits: usize,
+}
+
+/// Runs the Figure-4 evaluation from a stored suite, reading and writing
+/// the store's content-addressed result cache.
+///
+/// The corpus is materialized — and integrity-checked (hash, parse,
+/// regeneration round trip) — only when at least one (tool, circuit) pair
+/// misses the cache; a fully-warm run reads nothing but the manifest and
+/// the cache entries. Use `SuiteStore::verify` for a standalone integrity
+/// check.
+///
+/// # Errors
+///
+/// Propagates [`StoreError`] from loading the suite or writing cache
+/// entries. A corrupt cache *entry* is not an error — it reads as a miss
+/// and is recomputed and rewritten.
+///
+/// # Panics
+///
+/// As [`run_tool_evaluation`], if a tool produces an invalid routing.
+pub fn run_suite_evaluation(
+    store: &SuiteStore,
+    config: &SuiteEvalConfig,
+) -> Result<SuiteEvalOutcome, StoreError> {
+    run_suite_evaluation_with_sink(store, config, &NullSink)
+}
+
+/// [`run_suite_evaluation`] with a caller-supplied progress/metrics sink.
+/// The sink only sees the jobs that actually run (cache misses).
+///
+/// # Errors
+///
+/// # Panics
+///
+/// As [`run_suite_evaluation`].
+pub fn run_suite_evaluation_with_sink(
+    store: &SuiteStore,
+    config: &SuiteEvalConfig,
+    sink: &dyn ProgressSink,
+) -> Result<SuiteEvalOutcome, StoreError> {
+    let device = store.device();
+    let manifest = store.manifest();
+    let hashes: Vec<&str> = manifest
+        .instances
         .iter()
-        .flat_map(|point| (0..config.tools.len()).map(move |tool_index| (tool_index, point)))
+        .map(|r| r.content_hash.as_str())
+        .collect();
+    let point_swap_counts: Vec<usize> = manifest.instances.iter().map(|r| r.swap_count).collect();
+
+    let jobs: Vec<(usize, usize)> = all_pairs(manifest.instances.len(), config.tools.len());
+    let job_key = |&(tool_index, point_index): &(usize, usize)| {
+        JobKey::new(config.tools[tool_index].name(), hashes[point_index])
+    };
+
+    // Resolve the cache first: only misses become engine jobs.
+    let mut swaps: Vec<Option<usize>> = jobs
+        .iter()
+        .map(|job| {
+            let cached: CachedRouting = store.read_cached(&job_key(job))?;
+            // An entry produced under a different tool seed (or, defensively,
+            // for different bytes) answers a different question: miss.
+            (cached.tool_seed == config.tool_seed && cached.circuit_hash == hashes[job.1])
+                .then_some(cached.swaps)
+        })
+        .collect();
+    let misses: Vec<(usize, usize)> = jobs
+        .iter()
+        .zip(&swaps)
+        .filter(|(_, cached)| cached.is_none())
+        .map(|(&job, _)| job)
         .collect();
 
-    let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
-    let swaps = engine
-        .run_values(
+    if !misses.is_empty() {
+        // The circuits are only materialized — and the corpus only
+        // re-verified (hash, parse, regeneration round trip) — when there is
+        // fresh routing to do; a fully-warm run reads nothing but the
+        // manifest and the cache entries. Each result is persisted from
+        // inside its job: a run killed at 90% of a large corpus has already
+        // banked 90% of its work, which is what makes an interrupted or
+        // sharded run resumable (`write_cached` is rename-atomic, so a kill
+        // mid-write costs only that one entry).
+        let arch = device.build();
+        let suite = store.load()?;
+        let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
+        let routed: Vec<usize> = engine
+            .run_values(
+                &misses,
+                |_worker| {
+                    config
+                        .tools
+                        .iter()
+                        .map(|&tool| tool.build(config.tool_seed))
+                        .collect::<Vec<_>>()
+                },
+                |routers, _ctx, job: &(usize, usize)| -> Result<usize, StoreError> {
+                    let swaps = route_and_count(routers[job.0].as_ref(), &suite[job.1], &arch);
+                    store.write_cached(
+                        &job_key(job),
+                        &CachedRouting {
+                            tool: config.tools[job.0].name().to_string(),
+                            tool_seed: config.tool_seed,
+                            circuit_hash: hashes[job.1].to_string(),
+                            swaps,
+                        },
+                    )?;
+                    Ok(swaps)
+                },
+                sink,
+            )
+            .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+
+        // Fill the gaps left by the cache misses.
+        let mut fresh = routed.iter();
+        for slot in swaps.iter_mut().filter(|slot| slot.is_none()) {
+            *slot = Some(*fresh.next().expect("one routed result per miss"));
+        }
+    }
+    let swaps: Vec<usize> = swaps
+        .into_iter()
+        .map(|slot| slot.expect("every job resolved"))
+        .collect();
+
+    Ok(SuiteEvalOutcome {
+        report: assemble_report(
+            device,
+            &config.tools,
+            &manifest.config.swap_counts,
+            &point_swap_counts,
             &jobs,
-            // Build every router once per worker; `route` reseeds from the
-            // config on every call, so reuse changes nothing but speed.
+            &swaps,
+        ),
+        routed: misses.len(),
+        cache_hits: jobs.len() - misses.len(),
+    })
+}
+
+/// The point-major (tool, circuit) job list both pipelines share: all tools
+/// of point 0, then all tools of point 1, … so the expensive large instances
+/// of different tools interleave across workers.
+fn all_pairs(points: usize, tools: usize) -> Vec<(usize, usize)> {
+    (0..points)
+        .flat_map(|point_index| (0..tools).map(move |tool_index| (tool_index, point_index)))
+        .collect()
+}
+
+/// Routes the given `(tool_index, point_index)` jobs on the engine and
+/// returns the inserted SWAP counts in job order. Each worker builds every
+/// router once; `route` reseeds from the config on every call, so reuse
+/// changes nothing but speed.
+fn route_jobs(
+    arch: &Architecture,
+    suite: &[ExperimentPoint],
+    tools: &[ToolKind],
+    tool_seed: u64,
+    threads: usize,
+    jobs: &[(usize, usize)],
+    sink: &dyn ProgressSink,
+) -> Vec<usize> {
+    let engine = Engine::new(threads).with_base_seed(tool_seed);
+    engine
+        .run_values(
+            jobs,
             |_worker| {
-                config
-                    .tools
+                tools
                     .iter()
-                    .map(|&tool| tool.build(config.tool_seed))
+                    .map(|&tool| tool.build(tool_seed))
                     .collect::<Vec<_>>()
             },
-            |routers, _ctx, &(tool_index, point)| {
-                route_and_count(routers[tool_index].as_ref(), point, &arch)
+            |routers, _ctx, &(tool_index, point_index)| {
+                route_and_count(routers[tool_index].as_ref(), &suite[point_index], arch)
             },
             sink,
         )
-        .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"));
+        .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"))
+}
 
-    // `swaps` is in job-id order (deterministic for any thread count), so
-    // zipping it back against the job list reconstructs the full grid.
+/// Folds per-job SWAP counts into the per-(tool, SWAP count) cell grid.
+/// `swaps[i]` is the result of `jobs[i]`; the fold visits jobs in job order,
+/// so the report is schedule-independent. `point_swap_counts[p]` is point
+/// `p`'s designed SWAP count — the only per-circuit datum the fold needs,
+/// so a fully-cached suite run can assemble the report from the manifest
+/// alone without materializing any circuit.
+fn assemble_report(
+    device: DeviceKind,
+    tools: &[ToolKind],
+    swap_counts: &[usize],
+    point_swap_counts: &[usize],
+    jobs: &[(usize, usize)],
+    swaps: &[usize],
+) -> EvaluationReport {
     let mut cells = Vec::new();
-    for (tool_index, &tool) in config.tools.iter().enumerate() {
-        for &count in &config.suite.swap_counts {
+    for (tool_index, &tool) in tools.iter().enumerate() {
+        for &count in swap_counts {
             let cell_swaps: Vec<usize> = jobs
                 .iter()
-                .zip(&swaps)
-                .filter(|((t, point), _)| *t == tool_index && point.swap_count == count)
+                .zip(swaps)
+                .filter(|((t, p), _)| *t == tool_index && point_swap_counts[*p] == count)
                 .map(|(_, &s)| s)
                 .collect();
             if cell_swaps.is_empty() {
@@ -179,14 +467,11 @@ pub fn run_tool_evaluation_with_sink(
                 optimal_swaps: count,
                 circuits: cell_swaps.len(),
                 average_swaps,
-                swap_ratio: average_swaps / count as f64,
+                swap_ratio: cell_gap(average_swaps, count),
             });
         }
     }
-    EvaluationReport {
-        device: config.device,
-        cells,
-    }
+    EvaluationReport { device, cells }
 }
 
 fn route_and_count(router: &dyn Router, point: &ExperimentPoint, arch: &Architecture) -> usize {
@@ -235,7 +520,7 @@ mod tests {
 
     #[test]
     fn evaluation_produces_one_cell_per_tool_and_count() {
-        let report = run_tool_evaluation(&tiny_config());
+        let report = run_tool_evaluation(&tiny_config()).expect("valid config");
         assert_eq!(report.cells.len(), 8);
         for cell in &report.cells {
             assert_eq!(cell.circuits, 2);
@@ -255,7 +540,7 @@ mod tests {
         let mut config = tiny_config();
         config.threads = 1;
         config.tools = vec![ToolKind::LightSabre];
-        let report = run_tool_evaluation(&config);
+        let report = run_tool_evaluation(&config).expect("valid config");
         assert_eq!(report.cells.len(), 2);
     }
 
@@ -264,10 +549,13 @@ mod tests {
     /// counts, including the auto count.
     #[test]
     fn reports_are_byte_identical_across_thread_counts() {
-        let reference = serde_json::to_string(&run_tool_evaluation(&tiny_config().with_threads(1)))
-            .expect("serialize");
+        let reference = serde_json::to_string(
+            &run_tool_evaluation(&tiny_config().with_threads(1)).expect("valid config"),
+        )
+        .expect("serialize");
         for threads in [2usize, 8, AUTO_THREADS] {
-            let report = run_tool_evaluation(&tiny_config().with_threads(threads));
+            let report =
+                run_tool_evaluation(&tiny_config().with_threads(threads)).expect("valid config");
             let json = serde_json::to_string(&report).expect("serialize");
             assert_eq!(reference, json, "report diverged at threads={threads}");
         }
@@ -275,7 +563,7 @@ mod tests {
 
     #[test]
     fn aggregate_averages_device_gaps() {
-        let report = run_tool_evaluation(&tiny_config());
+        let report = run_tool_evaluation(&tiny_config()).expect("valid config");
         let aggregate = aggregate_by_tool(std::slice::from_ref(&report));
         assert_eq!(aggregate.len(), 4);
         for (_, gap) in aggregate {
@@ -292,5 +580,27 @@ mod tests {
         let quick = EvaluationConfig::quick(DeviceKind::Eagle127);
         assert!(quick.suite.two_qubit_gates <= 400);
         assert_eq!(quick.suite.circuits_per_count, 2);
+    }
+
+    /// The satellite bugfix: a misconfigured suite (zero SWAP count) must
+    /// surface as an error, not a panic deep inside the pipeline.
+    #[test]
+    fn misconfigured_suite_returns_an_error() {
+        let mut config = tiny_config();
+        config.suite.swap_counts = vec![0];
+        assert_eq!(
+            run_tool_evaluation(&config).unwrap_err(),
+            GenerateError::ZeroSwaps
+        );
+    }
+
+    /// The satellite bugfix: zero-optimum cells (QUEKO-style) report the
+    /// absolute excess SWAP count instead of dividing by zero.
+    #[test]
+    fn zero_optimum_cells_report_absolute_excess() {
+        assert_eq!(cell_gap(3.5, 0), 3.5);
+        assert_eq!(cell_gap(0.0, 0), 0.0);
+        assert!((cell_gap(3.0, 2) - 1.5).abs() < 1e-12);
+        assert!(cell_gap(7.0, 0).is_finite());
     }
 }

@@ -12,6 +12,14 @@
 //! binaries and the criterion benches can reuse them; [`report`] renders the
 //! tables the paper prints.
 //!
+//! Every command is also a subcommand of the unified `qubikos` binary
+//! ([`cli`] holds the shared implementations; the single-purpose bins are
+//! thin wrappers), and the evaluation/optimality pipelines can run from a
+//! persistent on-disk corpus ([`store::SuiteStore`]: `manifest.json` +
+//! QASM files + a content-addressed `results/` cache keyed by
+//! [`qubikos_engine::JobKey`]) via `--suite DIR`, skipping every
+//! (tool, circuit) pair the cache already holds.
+//!
 //! Every pipeline executes on the [`qubikos_engine`] work-stealing executor:
 //! results are identical for any thread count, a `--threads` flag is shared
 //! by all binaries (default: every available core), and per-job timings can
@@ -23,15 +31,22 @@
 
 pub mod ablations;
 pub mod case_study;
+pub mod cli;
 pub mod evaluation;
 pub mod microbench;
 pub mod optimality;
 pub mod report;
+pub mod store;
 
 pub use ablations::{run_ablations, AblationConfig, AblationPoint, AblationReport};
 pub use case_study::{run_case_study, CaseStudyConfig, CaseStudyOutcome};
 pub use evaluation::{
-    aggregate_by_tool, run_tool_evaluation, run_tool_evaluation_with_sink, EvaluationCell,
-    EvaluationConfig, EvaluationReport,
+    aggregate_by_tool, run_suite_evaluation, run_suite_evaluation_with_sink, run_tool_evaluation,
+    run_tool_evaluation_with_sink, EvaluationCell, EvaluationConfig, EvaluationReport,
+    SuiteEvalConfig, SuiteEvalOutcome, DEFAULT_TOOL_SEED,
 };
-pub use optimality::{run_optimality_study, ExactNodesAtK, OptimalityConfig, OptimalityReport};
+pub use optimality::{
+    run_optimality_study, run_suite_optimality, run_suite_optimality_with_sink, ExactNodesAtK,
+    OptimalityConfig, OptimalityReport, SuiteOptimalityOutcome,
+};
+pub use store::{export_suite, StoreError, SuiteStore, VerifyOutcome};

@@ -1,10 +1,27 @@
-//! Shared machinery for the micro-benchmark binaries.
+//! Shared machinery for the harness binaries: flag parsing helpers used by
+//! every command, and the micro-benchmark sampling methodology.
 //!
 //! `router_bench` and `exact_bench` expose the same `--json PATH` /
 //! `--samples N` interface and the same sampling methodology; both live
 //! here so the two bins — and their nightly JSON artifacts — never diverge.
+//! The generic `--flag value` helpers are also what the unified `qubikos`
+//! CLI and the per-command bins parse with, so a flag means the same thing
+//! everywhere.
 
 use std::time::Instant;
+
+/// Returns the value following `flag` in `args`, if present.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Whether the bare flag `flag` appears in `args`.
+pub fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
 
 /// Sorted wall-clock samples of one benchmarked operation.
 pub struct TimingSamples {
@@ -91,6 +108,16 @@ mod tests {
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_value_and_flag_present() {
+        let a = args(&["--arch", "aspen4", "--full"]);
+        assert_eq!(arg_value(&a, "--arch"), Some("aspen4".to_string()));
+        assert_eq!(arg_value(&a, "--out"), None);
+        assert_eq!(arg_value(&a, "--full"), None);
+        assert!(flag_present(&a, "--full"));
+        assert!(!flag_present(&a, "--smoke"));
     }
 
     #[test]

@@ -22,9 +22,10 @@
 //! instrumentation behind raising `exact_swap_limit` from 2 to 3 when the
 //! solver core was rebuilt.
 
-use qubikos::{generate_suite, verify_certificate, SuiteConfig};
+use crate::store::{StoreError, SuiteStore};
+use qubikos::{generate_suite, verify_certificate, GenerateError, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
-use qubikos_engine::{Engine, NullSink, ProgressSink, AUTO_THREADS};
+use qubikos_engine::{Engine, JobKey, NullSink, ProgressSink, AUTO_THREADS};
 use qubikos_exact::{ExactConfig, ExactSolver};
 use serde::{Deserialize, Serialize};
 
@@ -165,6 +166,32 @@ enum CircuitVerdict {
     ExactBudgetExceeded,
 }
 
+impl CircuitVerdict {
+    /// Stable name used by the result cache.
+    fn name(self) -> &'static str {
+        match self {
+            CircuitVerdict::CertificateFailed => "certificate-failed",
+            CircuitVerdict::CertifiedOnly => "certified-only",
+            CircuitVerdict::ExactlyConfirmed => "exactly-confirmed",
+            CircuitVerdict::ExactMismatch => "exact-mismatch",
+            CircuitVerdict::ExactBudgetExceeded => "exact-budget-exceeded",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name); `None` for unknown (corrupt or
+    /// future-format) cache entries, which then read as cache misses.
+    fn parse(name: &str) -> Option<Self> {
+        match name {
+            "certificate-failed" => Some(CircuitVerdict::CertificateFailed),
+            "certified-only" => Some(CircuitVerdict::CertifiedOnly),
+            "exactly-confirmed" => Some(CircuitVerdict::ExactlyConfirmed),
+            "exact-mismatch" => Some(CircuitVerdict::ExactMismatch),
+            "exact-budget-exceeded" => Some(CircuitVerdict::ExactBudgetExceeded),
+            _ => None,
+        }
+    }
+}
+
 /// One engine job's result: the verdict plus the exact solver's per-query
 /// statistics (empty when the solver was not consulted).
 #[derive(Debug, Clone)]
@@ -176,15 +203,24 @@ struct PointOutcome {
 }
 
 /// Runs the optimality study.
-pub fn run_optimality_study(config: &OptimalityConfig) -> OptimalityReport {
+///
+/// # Errors
+///
+/// Propagates [`GenerateError`] on suite misconfiguration instead of
+/// panicking.
+pub fn run_optimality_study(config: &OptimalityConfig) -> Result<OptimalityReport, GenerateError> {
     run_optimality_study_with_sink(config, &NullSink)
 }
 
 /// [`run_optimality_study`] with a caller-supplied progress/metrics sink.
+///
+/// # Errors
+///
+/// As [`run_optimality_study`].
 pub fn run_optimality_study_with_sink(
     config: &OptimalityConfig,
     sink: &dyn ProgressSink,
-) -> OptimalityReport {
+) -> Result<OptimalityReport, GenerateError> {
     // Generate all suites first (generation is cheap and sequential so the
     // suites stay identical to the sequential study), then verify every
     // circuit of every device as one flat worklist.
@@ -193,10 +229,10 @@ pub fn run_optimality_study_with_sink(
         .iter()
         .map(|&device| {
             let arch = device.build();
-            let suite = generate_suite(&arch, &config.suite).expect("suite generation succeeds");
-            (arch, suite)
+            let suite = generate_suite(&arch, &config.suite)?;
+            Ok((arch, suite))
         })
-        .collect();
+        .collect::<Result<_, GenerateError>>()?;
     let jobs: Vec<(&Architecture, &qubikos::ExperimentPoint)> = suites
         .iter()
         .flat_map(|(arch, suite)| suite.iter().map(move |point| (arch, point)))
@@ -212,6 +248,11 @@ pub fn run_optimality_study_with_sink(
         )
         .unwrap_or_else(|error| panic!("optimality study aborted: {error}"));
 
+    Ok(fold_outcomes(&outcomes))
+}
+
+/// Folds per-circuit outcomes (in job order) into the aggregate report.
+fn fold_outcomes(outcomes: &[PointOutcome]) -> OptimalityReport {
     let mut report = OptimalityReport {
         circuits: 0,
         certified: 0,
@@ -241,7 +282,7 @@ pub fn run_optimality_study_with_sink(
             }
         }
         report.exact_wall_micros += outcome.exact_wall_micros;
-        for (swaps, nodes) in outcome.exact_queries {
+        for &(swaps, nodes) in &outcome.exact_queries {
             report.exact_nodes += nodes;
             match report
                 .exact_nodes_by_k
@@ -262,6 +303,157 @@ pub fn run_optimality_study_with_sink(
     }
     report.exact_nodes_by_k.sort_by_key(|entry| entry.swaps);
     report
+}
+
+/// One cached verification outcome: the `results/optimality/<hash>.json`
+/// payload of the suite store. The exact-solver parameters ride along so an
+/// entry produced under a different budget or SWAP limit — which could have
+/// reached a different verdict — reads as a cache miss.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedVerification {
+    /// Content hash of the verified circuit's QASM.
+    pub circuit_hash: String,
+    /// `ExactConfig::max_swaps` the entry was produced under.
+    pub max_swaps: usize,
+    /// `ExactConfig::node_budget` the entry was produced under.
+    pub node_budget: u64,
+    /// `exact_swap_limit` the entry was produced under.
+    pub exact_swap_limit: usize,
+    /// The verdict, as a stable name.
+    pub verdict: String,
+    /// `(k, nodes)` per exact-solver feasibility query, in deepening order.
+    pub queries: Vec<(usize, u64)>,
+    /// Exact-solver wall-clock of the original (uncached) verification.
+    pub wall_micros: u64,
+}
+
+/// Result of a suite-backed optimality run: the report plus how much work
+/// the cache saved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteOptimalityOutcome {
+    /// The study report (node counts identical to the in-memory study on
+    /// the same suite; wall-clock of cached circuits is the recorded
+    /// original, not this run's).
+    pub report: OptimalityReport,
+    /// Circuits actually verified in this run.
+    pub verified: usize,
+    /// Circuits answered from the result cache.
+    pub cache_hits: usize,
+}
+
+/// Runs the optimality verification over a stored suite, reading and
+/// writing the store's `results/optimality/` cache. The suite and device
+/// come from the store's manifest; `config.devices` and `config.suite` are
+/// not consulted. As with the suite evaluation, the corpus is materialized
+/// and integrity-checked only when at least one circuit misses the cache.
+///
+/// # Errors
+///
+/// Propagates [`StoreError`] from loading the suite or writing cache
+/// entries.
+pub fn run_suite_optimality(
+    store: &SuiteStore,
+    config: &OptimalityConfig,
+) -> Result<SuiteOptimalityOutcome, StoreError> {
+    run_suite_optimality_with_sink(store, config, &NullSink)
+}
+
+/// [`run_suite_optimality`] with a caller-supplied progress/metrics sink.
+/// The sink only sees the circuits that are actually verified (cache
+/// misses).
+///
+/// # Errors
+///
+/// As [`run_suite_optimality`].
+pub fn run_suite_optimality_with_sink(
+    store: &SuiteStore,
+    config: &OptimalityConfig,
+    sink: &dyn ProgressSink,
+) -> Result<SuiteOptimalityOutcome, StoreError> {
+    let manifest = store.manifest();
+    let instances = manifest.instances.len();
+    let hashes: Vec<&str> = manifest
+        .instances
+        .iter()
+        .map(|r| r.content_hash.as_str())
+        .collect();
+    let key = |point_index: usize| JobKey::new("optimality", hashes[point_index]);
+
+    // Resolve the cache first: only misses are verified.
+    let mut outcomes: Vec<Option<PointOutcome>> = (0..instances)
+        .map(|point_index| {
+            let cached: CachedVerification = store.read_cached(&key(point_index))?;
+            let compatible = cached.circuit_hash == hashes[point_index]
+                && cached.max_swaps == config.exact.max_swaps
+                && cached.node_budget == config.exact.node_budget
+                && cached.exact_swap_limit == config.exact_swap_limit;
+            if !compatible {
+                return None;
+            }
+            Some(PointOutcome {
+                verdict: CircuitVerdict::parse(&cached.verdict)?,
+                exact_queries: cached.queries,
+                exact_wall_micros: cached.wall_micros,
+            })
+        })
+        .collect();
+    let misses: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    if !misses.is_empty() {
+        // The circuits are only materialized — and the corpus only
+        // re-verified — when there are misses to work on; a fully-warm run
+        // reads nothing but the manifest and the cache entries. Each
+        // verdict is persisted from inside its job so an interrupted run
+        // resumes where it stopped (`write_cached` is rename-atomic; a kill
+        // mid-write costs only that one entry).
+        let arch = store.device().build();
+        let points = store.load()?;
+        let engine = Engine::new(config.threads).with_base_seed(manifest.config.base_seed);
+        let fresh: Vec<PointOutcome> = engine
+            .run_values(
+                &misses,
+                |_worker| ExactSolver::new(config.exact),
+                |solver, _ctx, &point_index| -> Result<PointOutcome, StoreError> {
+                    let outcome = verify_point(solver, config, &arch, &points[point_index]);
+                    store.write_cached(
+                        &key(point_index),
+                        &CachedVerification {
+                            circuit_hash: hashes[point_index].to_string(),
+                            max_swaps: config.exact.max_swaps,
+                            node_budget: config.exact.node_budget,
+                            exact_swap_limit: config.exact_swap_limit,
+                            verdict: outcome.verdict.name().to_string(),
+                            queries: outcome.exact_queries.clone(),
+                            wall_micros: outcome.exact_wall_micros,
+                        },
+                    )?;
+                    Ok(outcome)
+                },
+                sink,
+            )
+            .unwrap_or_else(|error| panic!("optimality study aborted: {error}"))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+
+        for (&point_index, outcome) in misses.iter().zip(&fresh) {
+            outcomes[point_index] = Some(outcome.clone());
+        }
+    }
+    let outcomes: Vec<PointOutcome> = outcomes
+        .into_iter()
+        .map(|slot| slot.expect("every circuit resolved"))
+        .collect();
+
+    Ok(SuiteOptimalityOutcome {
+        report: fold_outcomes(&outcomes),
+        verified: misses.len(),
+        cache_hits: instances - misses.len(),
+    })
 }
 
 /// Verifies one circuit: certificate always, exhaustive exact solver when
@@ -325,7 +517,7 @@ mod tests {
 
     #[test]
     fn tiny_study_confirms_optimality() {
-        let report = run_optimality_study(&tiny_config());
+        let report = run_optimality_study(&tiny_config()).expect("valid config");
         assert_eq!(report.circuits, 4);
         assert_eq!(report.certified, 4);
         assert_eq!(report.failures, 0);
@@ -346,9 +538,10 @@ mod tests {
     /// comparison covers node counts; wall-clock is excluded from `==`.)
     #[test]
     fn reports_identical_across_thread_counts() {
-        let reference = run_optimality_study(&tiny_config().with_threads(1));
+        let reference = run_optimality_study(&tiny_config().with_threads(1)).expect("valid config");
         for threads in [2usize, 8, AUTO_THREADS] {
-            let report = run_optimality_study(&tiny_config().with_threads(threads));
+            let report =
+                run_optimality_study(&tiny_config().with_threads(threads)).expect("valid config");
             assert_eq!(report, reference, "report diverged at threads={threads}");
         }
     }
@@ -371,7 +564,7 @@ mod tests {
 
     #[test]
     fn smoke_study_passes_cleanly() {
-        let report = run_optimality_study(&OptimalityConfig::smoke());
+        let report = run_optimality_study(&OptimalityConfig::smoke()).expect("valid config");
         assert_eq!(report.failures, 0);
         assert_eq!(report.certified, report.circuits);
         // The smoke limit covers every designed SWAP count, so every circuit

@@ -1,0 +1,578 @@
+//! The persistent benchmark-suite store: a suite as an on-disk corpus plus a
+//! content-addressed result cache.
+//!
+//! A stored suite directory looks like:
+//!
+//! ```text
+//! suite/
+//! ├── manifest.json                    # SuiteManifest: config, seeds, hashes
+//! ├── aspen-4_swaps5_inst0.qasm        # one OpenQASM file per instance
+//! ├── aspen-4_swaps5_inst0.json        # metadata sidecar for external tools
+//! ├── ...
+//! └── results/                         # content-addressed result cache
+//!     ├── lightsabre/<circuit-hash>.json
+//!     └── optimality/<circuit-hash>.json
+//! ```
+//!
+//! The QASM files are the interop boundary — the exact artifact handed to
+//! Qiskit, t|ket⟩ or QMAP — and the manifest makes the directory a
+//! *verifiable* corpus: every instance records the seed it was generated
+//! from, its designed SWAP count, and the content hash of its QASM text.
+//! [`SuiteStore::load`] turns the directory back into the
+//! `Vec<ExperimentPoint>` the pipelines consume, and it distrusts the disk
+//! on principle: each file's bytes must match the manifest hash, must parse
+//! through [`parse_qasm`], and the parsed circuit must equal the circuit
+//! regenerated from the recorded seed — a full round-trip proof that what
+//! external tools read is what the generator certified.
+//!
+//! The `results/` cache keys each stored outcome by
+//! ([`JobKey`]: tool namespace, circuit content hash), so re-running an
+//! evaluation on the same suite skips every (tool, circuit) pair it has
+//! already routed, and an interrupted sharded run resumes where it stopped.
+//! Cache writes go through a temp-file rename so a killed run never leaves a
+//! half-written entry behind.
+
+use qubikos::{
+    content_hash, generate, generate_suite, ExperimentPoint, GenerateError, GeneratorConfig,
+    InstanceRecord, SuiteConfig, SuiteManifest, MANIFEST_FILE, MANIFEST_FORMAT,
+};
+use qubikos_arch::DeviceKind;
+use qubikos_circuit::{parse_qasm, to_qasm};
+use qubikos_engine::{Engine, JobKey, NullSink, ProgressSink};
+use serde::Serialize;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Everything that can go wrong exporting, opening, verifying, or loading a
+/// stored suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// Rendered `std::io::Error`.
+        message: String,
+    },
+    /// `manifest.json` (or a cache entry) did not deserialize.
+    Malformed {
+        /// Path of the offending file.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The manifest's schema version is not the one this build understands.
+    FormatVersion {
+        /// Version found in the manifest.
+        found: u32,
+    },
+    /// An instance file's bytes do not match the manifest's content hash.
+    HashMismatch {
+        /// The instance file.
+        file: String,
+        /// Hash recorded in the manifest.
+        expected: String,
+        /// Hash of the bytes on disk.
+        found: String,
+    },
+    /// An instance file no longer parses as the supported QASM subset.
+    Qasm {
+        /// The instance file.
+        file: String,
+        /// Rendered parse error.
+        message: String,
+    },
+    /// An instance file parses, but to a different circuit than the one its
+    /// recorded seed regenerates — the round trip the paper's methodology
+    /// relies on is broken.
+    RoundTripMismatch {
+        /// The instance file.
+        file: String,
+    },
+    /// Regenerating an instance from its recorded seed failed.
+    Generate(GenerateError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "io error at {path}: {message}"),
+            StoreError::Malformed { path, message } => {
+                write!(f, "malformed store file {path}: {message}")
+            }
+            StoreError::FormatVersion { found } => write!(
+                f,
+                "manifest format {found} is not supported (expected {MANIFEST_FORMAT})"
+            ),
+            StoreError::HashMismatch {
+                file,
+                expected,
+                found,
+            } => write!(
+                f,
+                "content hash mismatch for {file}: manifest records {expected}, file hashes to {found}"
+            ),
+            StoreError::Qasm { file, message } => {
+                write!(f, "stored QASM {file} failed to parse: {message}")
+            }
+            StoreError::RoundTripMismatch { file } => write!(
+                f,
+                "stored QASM {file} parses to a different circuit than its recorded seed regenerates"
+            ),
+            StoreError::Generate(error) => write!(f, "regeneration failed: {error}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+impl From<GenerateError> for StoreError {
+    fn from(error: GenerateError) -> Self {
+        StoreError::Generate(error)
+    }
+}
+
+fn io_error(path: &Path, error: &std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.display().to_string(),
+        message: error.to_string(),
+    }
+}
+
+/// Outcome of [`SuiteStore::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Number of instances checked (hash + parse + regeneration round trip).
+    pub instances: usize,
+}
+
+/// A suite directory opened for reading (and result caching).
+#[derive(Debug, Clone)]
+pub struct SuiteStore {
+    root: PathBuf,
+    manifest: SuiteManifest,
+}
+
+impl SuiteStore {
+    /// Generates the suite described by `(device, config)` and writes it to
+    /// `root` as `manifest.json` + one QASM file (plus a JSON metadata
+    /// sidecar for external tools) per instance. Existing files are
+    /// overwritten; an existing result cache under `root/results` is left
+    /// untouched (entries are content-addressed, so stale ones are simply
+    /// never hit).
+    ///
+    /// Generation and writing run on the execution engine — one job per
+    /// instance, order-independent thanks to
+    /// [`SuiteConfig::instance_seed`] — so exporting a large corpus
+    /// parallelizes while the manifest stays byte-identical to a sequential
+    /// export.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Generate`] on suite misconfiguration, [`StoreError::Io`]
+    /// on filesystem failures.
+    pub fn export(
+        root: impl Into<PathBuf>,
+        device: DeviceKind,
+        config: &SuiteConfig,
+        threads: usize,
+        sink: &dyn ProgressSink,
+    ) -> Result<SuiteStore, StoreError> {
+        let root = root.into();
+        let arch = device.build();
+        std::fs::create_dir_all(&root).map_err(|e| io_error(&root, &e))?;
+
+        let jobs: Vec<(usize, usize)> = config
+            .swap_counts
+            .iter()
+            .enumerate()
+            .flat_map(|(count_index, _)| {
+                (0..config.circuits_per_count).map(move |instance| (count_index, instance))
+            })
+            .collect();
+        let engine = Engine::new(threads).with_base_seed(config.base_seed);
+        let records = engine.run_values(
+            &jobs,
+            |_worker| (),
+            |(), _ctx, &(count_index, instance)| -> Result<InstanceRecord, StoreError> {
+                let swap_count = config.swap_counts[count_index];
+                let seed = config.instance_seed(count_index, instance);
+                let gen_config =
+                    GeneratorConfig::new(swap_count, config.two_qubit_gates).with_seed(seed);
+                let benchmark = generate(&arch, &gen_config)?;
+                let point = ExperimentPoint {
+                    swap_count,
+                    instance,
+                    seed,
+                    benchmark,
+                };
+                let record = InstanceRecord::describe(device, &point);
+                let qasm_path = root.join(&record.file);
+                write_atomic(&qasm_path, &to_qasm(point.benchmark.circuit()))?;
+                let sidecar = serde_json::json!({
+                    "architecture": point.benchmark.architecture(),
+                    "optimal_swaps": point.benchmark.optimal_swaps(),
+                    "two_qubit_gates": record.two_qubit_gates,
+                    "seed": seed,
+                    "content_hash": record.content_hash,
+                    "optimal_initial_mapping": point.benchmark.reference_mapping().as_slice(),
+                });
+                let sidecar_path = qasm_path.with_extension("json");
+                let json =
+                    serde_json::to_string_pretty(&sidecar).map_err(|e| StoreError::Malformed {
+                        path: sidecar_path.display().to_string(),
+                        message: e.to_string(),
+                    })?;
+                write_atomic(&sidecar_path, &json)?;
+                Ok(record)
+            },
+            sink,
+        );
+        let records = records
+            .unwrap_or_else(|error| panic!("suite export aborted: {error}"))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let manifest = SuiteManifest {
+            format: MANIFEST_FORMAT,
+            device,
+            config: config.clone(),
+            instances: records,
+        };
+        let manifest_path = root.join(MANIFEST_FILE);
+        let json = serde_json::to_string_pretty(&manifest).map_err(|e| StoreError::Malformed {
+            path: manifest_path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        write_atomic(&manifest_path, &json)?;
+        Ok(SuiteStore { root, manifest })
+    }
+
+    /// Opens an existing suite directory by reading its manifest. No
+    /// instance files are touched until [`load`](Self::load) or
+    /// [`verify`](Self::verify).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the manifest is unreadable,
+    /// [`StoreError::Malformed`] when it does not deserialize,
+    /// [`StoreError::FormatVersion`] on a schema mismatch.
+    pub fn open(root: impl Into<PathBuf>) -> Result<SuiteStore, StoreError> {
+        let root = root.into();
+        let manifest_path = root.join(MANIFEST_FILE);
+        let text =
+            std::fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, &e))?;
+        let manifest: SuiteManifest =
+            serde_json::from_str(&text).map_err(|e| StoreError::Malformed {
+                path: manifest_path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        if manifest.format != MANIFEST_FORMAT {
+            return Err(StoreError::FormatVersion {
+                found: manifest.format,
+            });
+        }
+        Ok(SuiteStore { root, manifest })
+    }
+
+    /// The suite directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The manifest read at [`open`](Self::open) (or written by
+    /// [`export`](Self::export)).
+    pub fn manifest(&self) -> &SuiteManifest {
+        &self.manifest
+    }
+
+    /// Device the stored suite targets.
+    pub fn device(&self) -> DeviceKind {
+        self.manifest.device
+    }
+
+    /// Loads the stored suite back into the experiment points the pipelines
+    /// consume, verifying every instance on the way: the file's bytes must
+    /// match the manifest hash, parse as the supported QASM subset, and
+    /// equal the circuit regenerated from the recorded seed. The returned
+    /// points (including certificates and reference solutions) are therefore
+    /// bit-identical to what [`generate_suite`] produces for the manifest's
+    /// config.
+    ///
+    /// # Errors
+    ///
+    /// The first (in manifest order) [`StoreError`] found.
+    pub fn load(&self) -> Result<Vec<ExperimentPoint>, StoreError> {
+        let arch = self.manifest.device.build();
+        self.manifest
+            .instances
+            .iter()
+            .map(|record| {
+                let gen_config =
+                    GeneratorConfig::new(record.swap_count, self.manifest.config.two_qubit_gates)
+                        .with_seed(record.seed);
+                let benchmark = generate(&arch, &gen_config)?;
+                let path = self.root.join(&record.file);
+                let text = std::fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
+                let found = content_hash(&text);
+                if found != record.content_hash {
+                    return Err(StoreError::HashMismatch {
+                        file: record.file.clone(),
+                        expected: record.content_hash.clone(),
+                        found,
+                    });
+                }
+                let parsed = parse_qasm(&text).map_err(|e| StoreError::Qasm {
+                    file: record.file.clone(),
+                    message: e.to_string(),
+                })?;
+                if &parsed != benchmark.circuit() {
+                    return Err(StoreError::RoundTripMismatch {
+                        file: record.file.clone(),
+                    });
+                }
+                Ok(ExperimentPoint {
+                    swap_count: record.swap_count,
+                    instance: record.instance,
+                    seed: record.seed,
+                    benchmark,
+                })
+            })
+            .collect()
+    }
+
+    /// Verifies every instance (hash, parse, regeneration round trip)
+    /// without keeping the circuits.
+    ///
+    /// # Errors
+    ///
+    /// As [`load`](Self::load).
+    pub fn verify(&self) -> Result<VerifyOutcome, StoreError> {
+        let points = self.load()?;
+        Ok(VerifyOutcome {
+            instances: points.len(),
+        })
+    }
+
+    /// Convenience: generates the manifest's suite in memory (no disk reads
+    /// beyond the already-loaded manifest). Used by tests comparing stored
+    /// and in-memory pipelines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GenerateError`] as [`StoreError::Generate`].
+    pub fn regenerate(&self) -> Result<Vec<ExperimentPoint>, StoreError> {
+        let arch = self.manifest.device.build();
+        Ok(generate_suite(&arch, &self.manifest.config)?)
+    }
+
+    // ---- result cache -----------------------------------------------------
+
+    /// Path of the cache entry for `key`.
+    fn cache_path(&self, key: &JobKey) -> PathBuf {
+        self.root
+            .join("results")
+            .join(key.namespace())
+            .join(format!("{}.json", key.key()))
+    }
+
+    /// Reads a cache entry. Returns `None` when the entry is absent **or**
+    /// unreadable/corrupt — a broken cache entry must only cost a recompute,
+    /// never fail a run.
+    pub fn read_cached<T: serde::Deserialize>(&self, key: &JobKey) -> Option<T> {
+        let text = std::fs::read_to_string(self.cache_path(key)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Writes a cache entry atomically (temp file + rename), creating the
+    /// cache directories on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn write_cached<T: Serialize>(&self, key: &JobKey, value: &T) -> Result<(), StoreError> {
+        let path = self.cache_path(key);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| io_error(parent, &e))?;
+        }
+        let json = serde_json::to_string_pretty(value).map_err(|e| StoreError::Malformed {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        write_atomic(&path, &json)
+    }
+}
+
+/// Writes `text` to `path` via a sibling temp file + rename, so readers (and
+/// resumed runs) never observe a torn file. The temp name carries the
+/// process id and a per-process counter: two sharded runs landing on the
+/// same cache entry each rename their own complete file (last rename wins
+/// with identical content) instead of racing on one shared `.tmp`.
+fn write_atomic(path: &Path, text: &str) -> Result<(), StoreError> {
+    static WRITE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = WRITE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}-{serial}.tmp", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, text).map_err(|e| io_error(&tmp, &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_error(path, &e))
+}
+
+/// Exports a suite with no progress streaming (library/test convenience;
+/// CLIs pass a real sink to [`SuiteStore::export`]).
+///
+/// # Errors
+///
+/// As [`SuiteStore::export`].
+pub fn export_suite(
+    root: impl Into<PathBuf>,
+    device: DeviceKind,
+    config: &SuiteConfig,
+    threads: usize,
+) -> Result<SuiteStore, StoreError> {
+    SuiteStore::export(root, device, config, threads, &NullSink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubikos_engine::AUTO_THREADS;
+
+    /// A unique temp dir per test; removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(name: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "qubikos-store-{}-{}-{name}",
+                std::process::id(),
+                std::thread::current()
+                    .name()
+                    .unwrap_or("t")
+                    .replace("::", "-"),
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn tiny_config() -> SuiteConfig {
+        SuiteConfig {
+            swap_counts: vec![1, 2],
+            circuits_per_count: 2,
+            two_qubit_gates: 16,
+            base_seed: 11,
+        }
+    }
+
+    #[test]
+    fn export_then_load_round_trips_bit_identically() {
+        let dir = TempDir::new("round-trip");
+        let config = tiny_config();
+        let store = export_suite(&dir.0, DeviceKind::Grid3x3, &config, 2).expect("export");
+        assert_eq!(store.manifest().instances.len(), 4);
+
+        let reopened = SuiteStore::open(&dir.0).expect("open");
+        assert_eq!(reopened.manifest(), store.manifest());
+        let loaded = reopened.load().expect("load verifies");
+        let generated =
+            generate_suite(&DeviceKind::Grid3x3.build(), &config).expect("in-memory suite");
+        assert_eq!(
+            loaded, generated,
+            "stored corpus must equal the in-memory suite"
+        );
+    }
+
+    #[test]
+    fn export_is_thread_count_invariant() {
+        let dir_a = TempDir::new("threads-1");
+        let dir_b = TempDir::new("threads-8");
+        let config = tiny_config();
+        export_suite(&dir_a.0, DeviceKind::Grid3x3, &config, 1).expect("export 1");
+        export_suite(&dir_b.0, DeviceKind::Grid3x3, &config, 8).expect("export 8");
+        let a = std::fs::read_to_string(dir_a.0.join(MANIFEST_FILE)).expect("manifest a");
+        let b = std::fs::read_to_string(dir_b.0.join(MANIFEST_FILE)).expect("manifest b");
+        assert_eq!(a, b, "manifest must not depend on export thread count");
+    }
+
+    #[test]
+    fn verify_detects_tampered_instances() {
+        let dir = TempDir::new("tamper");
+        let store = export_suite(&dir.0, DeviceKind::Grid3x3, &tiny_config(), AUTO_THREADS)
+            .expect("export");
+        assert_eq!(store.verify().expect("clean verify").instances, 4);
+
+        // Appending a gate changes the bytes: the hash check must fire.
+        let victim = dir.0.join(&store.manifest().instances[0].file);
+        let mut text = std::fs::read_to_string(&victim).expect("read");
+        text.push_str("h q[0];\n");
+        std::fs::write(&victim, text).expect("tamper");
+        match SuiteStore::open(&dir.0).expect("open").verify() {
+            Err(StoreError::HashMismatch { file, .. }) => {
+                assert_eq!(file, store.manifest().instances[0].file);
+            }
+            other => panic!("expected hash mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_unparseable_instances() {
+        let dir = TempDir::new("unparseable");
+        let store = export_suite(&dir.0, DeviceKind::Grid3x3, &tiny_config(), 1).expect("export");
+        // Rewrite an instance with garbage *and* a matching manifest hash, so
+        // the parse failure (not the hash check) is what fires.
+        let record = store.manifest().instances[1].clone();
+        let garbage = "OPENQASM 2.0;\nqreg q[9];\nccz q[0], q[1], q[2];\n";
+        std::fs::write(dir.0.join(&record.file), garbage).expect("write");
+        let mut manifest = store.manifest().clone();
+        manifest.instances[1].content_hash = content_hash(garbage);
+        std::fs::write(
+            dir.0.join(MANIFEST_FILE),
+            serde_json::to_string_pretty(&manifest).expect("serialize"),
+        )
+        .expect("write manifest");
+        match SuiteStore::open(&dir.0).expect("open").load() {
+            Err(StoreError::Qasm { file, .. }) => assert_eq!(file, record.file),
+            other => panic!("expected qasm error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_unknown_format_versions() {
+        let dir = TempDir::new("format");
+        let store = export_suite(&dir.0, DeviceKind::Grid3x3, &tiny_config(), 1).expect("export");
+        let mut manifest = store.manifest().clone();
+        manifest.format = MANIFEST_FORMAT + 1;
+        std::fs::write(
+            dir.0.join(MANIFEST_FILE),
+            serde_json::to_string_pretty(&manifest).expect("serialize"),
+        )
+        .expect("write manifest");
+        assert_eq!(
+            SuiteStore::open(&dir.0).unwrap_err(),
+            StoreError::FormatVersion {
+                found: MANIFEST_FORMAT + 1
+            }
+        );
+    }
+
+    #[test]
+    fn result_cache_round_trips_and_tolerates_corruption() {
+        let dir = TempDir::new("cache");
+        let store = export_suite(&dir.0, DeviceKind::Grid3x3, &tiny_config(), 1).expect("export");
+        let key = JobKey::new("lightsabre", "deadbeef");
+        assert_eq!(store.read_cached::<Vec<usize>>(&key), None);
+        store.write_cached(&key, &vec![3usize, 4]).expect("write");
+        assert_eq!(store.read_cached::<Vec<usize>>(&key), Some(vec![3, 4]));
+        // A corrupt entry reads as a miss, never as an error.
+        std::fs::write(store.cache_path(&key), "{not json").expect("corrupt");
+        assert_eq!(store.read_cached::<Vec<usize>>(&key), None);
+    }
+}

@@ -5,6 +5,13 @@
 //! two-qubit gates `cx cz swap`. This is enough to hand QUBIKOS circuits to
 //! external compilers (Qiskit, t|ket⟩, QMAP) and to read their input format
 //! back for cross-checking.
+//!
+//! The parser is deliberately more liberal than the exporter: statements may
+//! separate the mnemonic from its operands with any run of whitespace
+//! (including tabs — Qiskit and t|ket⟩ exporters disagree here), and the
+//! single quantum register may carry any identifier (`qreg reg[16];` is a
+//! legal export several tools produce). Files declaring more than one
+//! quantum register are outside the subset and rejected with a clear error.
 
 use crate::circuit::Circuit;
 use crate::gate::{Gate, OneQubitKind, TwoQubitKind};
@@ -71,14 +78,18 @@ pub fn to_qasm(circuit: &Circuit) -> String {
 ///
 /// Header lines (`OPENQASM`, `include`), blank lines and `//` comments are
 /// accepted; `creg` and `measure` statements are ignored so circuits exported
-/// by other tools with trailing measurements still load.
+/// by other tools with trailing measurements still load. The mnemonic and
+/// its operands may be separated by any whitespace (spaces or tabs), and the
+/// quantum register may carry any identifier — operands must then reference
+/// that register.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseQasmError`] for unknown gates, malformed operands, qubit
-/// indices outside the declared register, or a missing `qreg` declaration.
+/// indices outside the declared register, operands naming an undeclared
+/// register, a second `qreg` declaration, or a missing `qreg` declaration.
 pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
-    let mut circuit: Option<Circuit> = None;
+    let mut register: Option<(String, Circuit)> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line_number = lineno + 1;
         let line = raw.split("//").next().unwrap_or("").trim();
@@ -96,22 +107,35 @@ pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
             continue;
         }
         if let Some(rest) = statement.strip_prefix("qreg") {
-            let n = parse_register_size(rest.trim())
+            let (name, size) = parse_register_decl(rest.trim())
                 .ok_or_else(|| ParseQasmError::new(line_number, "malformed qreg declaration"))?;
-            circuit = Some(Circuit::new(n));
+            if let Some((first, _)) = &register {
+                return Err(ParseQasmError::new(
+                    line_number,
+                    format!(
+                        "multiple quantum registers are not supported \
+                         (register '{first}' already declared, found '{name}')"
+                    ),
+                ));
+            }
+            register = Some((name, Circuit::new(size)));
             continue;
         }
-        let circuit = circuit
+        let (reg_name, circuit) = register
             .as_mut()
             .ok_or_else(|| ParseQasmError::new(line_number, "gate before qreg declaration"))?;
+        // Split on the first run of whitespace: tool exporters variously emit
+        // `cx q[0], q[1]`, `cx\tq[0],q[1]`, and multi-space alignment.
         let (mnemonic, operands) = statement
-            .split_once(' ')
+            .split_once(char::is_whitespace)
             .ok_or_else(|| ParseQasmError::new(line_number, "missing operands"))?;
         let qubits: Vec<usize> = operands
             .split(',')
-            .map(|op| parse_qubit_operand(op.trim()))
-            .collect::<Option<Vec<_>>>()
-            .ok_or_else(|| ParseQasmError::new(line_number, "malformed qubit operand"))?;
+            .map(|op| parse_qubit_operand(op.trim(), reg_name))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|detail| {
+                ParseQasmError::new(line_number, format!("malformed qubit operand: {detail}"))
+            })?;
         let gate = build_gate(mnemonic, &qubits).ok_or_else(|| {
             ParseQasmError::new(line_number, format!("unsupported gate '{mnemonic}'"))
         })?;
@@ -126,18 +150,50 @@ pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         }
         circuit.push(gate);
     }
-    circuit.ok_or_else(|| ParseQasmError::new(0, "no qreg declaration found"))
+    register
+        .map(|(_, circuit)| circuit)
+        .ok_or_else(|| ParseQasmError::new(0, "no qreg declaration found"))
 }
 
-fn parse_register_size(decl: &str) -> Option<usize> {
-    // Accepts `q[5]`.
-    let inner = decl.strip_prefix("q[")?.strip_suffix(']')?;
-    inner.parse().ok()
+/// Parses a register declaration body `name[size]` into its parts.
+fn parse_register_decl(decl: &str) -> Option<(String, usize)> {
+    let (name, rest) = decl.split_once('[')?;
+    let name = name.trim();
+    if name.is_empty() || !is_identifier(name) {
+        return None;
+    }
+    let size = rest.strip_suffix(']')?.trim().parse().ok()?;
+    Some((name.to_string(), size))
 }
 
-fn parse_qubit_operand(op: &str) -> Option<usize> {
-    let inner = op.strip_prefix("q[")?.strip_suffix(']')?;
-    inner.parse().ok()
+/// An OpenQASM identifier: a letter or underscore followed by alphanumerics
+/// or underscores.
+fn is_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses an operand `reg[i]` against the declared register name.
+fn parse_qubit_operand(op: &str, register: &str) -> Result<usize, String> {
+    let (name, rest) = op
+        .split_once('[')
+        .ok_or_else(|| format!("expected '{register}[i]', found '{op}'"))?;
+    let name = name.trim();
+    if name != register {
+        return Err(format!(
+            "operand references register '{name}' but '{register}' is declared"
+        ));
+    }
+    let index = rest
+        .strip_suffix(']')
+        .ok_or_else(|| format!("missing ']' in '{op}'"))?;
+    index
+        .trim()
+        .parse()
+        .map_err(|_| format!("non-numeric index in '{op}'"))
 }
 
 fn build_gate(mnemonic: &str, qubits: &[usize]) -> Option<Gate> {
@@ -229,5 +285,53 @@ mod tests {
         let text = to_qasm(&Circuit::new(3));
         assert!(text.starts_with("OPENQASM 2.0;\n"));
         assert!(text.contains("qreg q[3];"));
+    }
+
+    #[test]
+    fn parses_tab_separated_statements() {
+        let text = "qreg q[3];\nh\tq[0];\ncx\tq[0],\tq[1];\nswap\tq[1], q[2];\n";
+        let c = parse_qasm(text).expect("tabs parse");
+        assert_eq!(
+            c,
+            Circuit::from_gates(3, [Gate::h(0), Gate::cx(0, 1), Gate::swap(1, 2)])
+        );
+    }
+
+    #[test]
+    fn parses_multi_space_separated_statements() {
+        let text = "qreg q[2];\ncx   q[0],   q[1];\nh     q[1];\n";
+        let c = parse_qasm(text).expect("multi-space parse");
+        assert_eq!(c, Circuit::from_gates(2, [Gate::cx(0, 1), Gate::h(1)]));
+    }
+
+    #[test]
+    fn accepts_any_register_identifier() {
+        let text = "OPENQASM 2.0;\nqreg reg[16];\ncx reg[3], reg[4];\nh reg[15];\n";
+        let c = parse_qasm(text).expect("named register parses");
+        assert_eq!(c.num_qubits(), 16);
+        assert_eq!(c, Circuit::from_gates(16, [Gate::cx(3, 4), Gate::h(15)]));
+        let underscored = "qreg _q0[2];\ncx _q0[0], _q0[1];\n";
+        assert_eq!(parse_qasm(underscored).expect("parses").gate_count(), 1);
+    }
+
+    #[test]
+    fn rejects_operand_from_undeclared_register() {
+        let err = parse_qasm("qreg reg[4];\ncx reg[0], q[1];\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("references register 'q'"));
+    }
+
+    #[test]
+    fn rejects_multiple_quantum_registers() {
+        let err = parse_qasm("qreg a[2];\nqreg b[2];\ncx a[0], b[0];\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("multiple quantum registers"));
+        assert!(err.to_string().contains("'a'"));
+    }
+
+    #[test]
+    fn rejects_malformed_register_names() {
+        assert!(parse_qasm("qreg 9q[2];\nh 9q[0];\n").is_err());
+        assert!(parse_qasm("qreg [2];\nh q[0];\n").is_err());
     }
 }

@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// a register that is not named q, with aligned columns
+qreg work_reg[16];
+h    work_reg[0];
+cx   work_reg[0],  work_reg[5];
+cx   work_reg[5],  work_reg[10];
+swap work_reg[10], work_reg[15];

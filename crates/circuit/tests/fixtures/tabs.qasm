@@ -1,0 +1,9 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// tab-separated operands, as emitted by some exporters
+qreg q[4];
+h	q[0];
+cx	q[0],	q[1];
+cz	q[1],q[2];
+swap	q[2],	q[3];
+t	q[3];

@@ -1,0 +1,114 @@
+//! The QASM boundary is what the paper's methodology hands to external
+//! tools, so it gets its own integration suite: property-based round trips
+//! over randomly generated circuits, plus fixture files exercising the
+//! dialect variations real exporters produce (tab-separated operands,
+//! registers not named `q`, trailing measurements).
+
+use proptest::prelude::*;
+use qubikos_circuit::{parse_qasm, to_qasm, Circuit, Gate, OneQubitKind};
+
+/// Strategy: a random circuit over `num_qubits` qubits mixing every gate
+/// kind the QASM subset supports.
+fn arb_circuit(num_qubits: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0..num_qubits, 0..num_qubits, 0..9usize).prop_filter_map(
+        "distinct qubits for two-qubit gates",
+        move |(a, b, kind)| match kind {
+            0 => Some(Gate::h(a)),
+            1 => Some(Gate::x(a)),
+            2 => Some(Gate::one(OneQubitKind::Y, a)),
+            3 => Some(Gate::z(a)),
+            4 => Some(Gate::one(OneQubitKind::S, a)),
+            5 => Some(Gate::t(a)),
+            6 if a != b => Some(Gate::cx(a, b)),
+            7 if a != b => Some(Gate::cz(a, b)),
+            8 if a != b => Some(Gate::swap(a, b)),
+            _ => None,
+        },
+    );
+    proptest::collection::vec(gate, 1..max_gates)
+        .prop_map(move |gates| Circuit::from_gates(num_qubits, gates))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every circuit survives `to_qasm` → `parse_qasm` unchanged.
+    #[test]
+    fn round_trip_is_identity(circuit in arb_circuit(9, 60)) {
+        let text = to_qasm(&circuit);
+        let parsed = parse_qasm(&text).expect("exported QASM always parses");
+        prop_assert_eq!(parsed, circuit);
+    }
+
+    /// The round trip still holds after the whitespace mangling other tools
+    /// apply: single spaces become tabs or runs of spaces.
+    #[test]
+    fn round_trip_survives_whitespace_mangling(
+        circuit in arb_circuit(6, 40),
+        separator in 0..2usize,
+    ) {
+        let text = to_qasm(&circuit);
+        let mangled = if separator == 0 {
+            text.replace(' ', "\t")
+        } else {
+            text.replace(' ', "   ")
+        };
+        let parsed = parse_qasm(&mangled).expect("mangled QASM parses");
+        prop_assert_eq!(parsed, circuit);
+    }
+
+    /// Renaming the register (the dialect difference that used to be
+    /// rejected) never changes the parsed circuit.
+    #[test]
+    fn round_trip_survives_register_renaming(circuit in arb_circuit(5, 30)) {
+        let text = to_qasm(&circuit).replace("qreg q[", "qreg rr[").replace(" q[", " rr[");
+        let parsed = parse_qasm(&text).expect("renamed register parses");
+        prop_assert_eq!(parsed, circuit);
+    }
+}
+
+#[test]
+fn fixture_with_tabs_parses() {
+    let parsed = parse_qasm(include_str!("fixtures/tabs.qasm")).expect("tabs fixture parses");
+    assert_eq!(
+        parsed,
+        Circuit::from_gates(
+            4,
+            [
+                Gate::h(0),
+                Gate::cx(0, 1),
+                Gate::cz(1, 2),
+                Gate::swap(2, 3),
+                Gate::t(3),
+            ],
+        )
+    );
+}
+
+#[test]
+fn fixture_with_named_register_parses() {
+    let parsed = parse_qasm(include_str!("fixtures/named_register.qasm"))
+        .expect("named-register fixture parses");
+    assert_eq!(
+        parsed,
+        Circuit::from_gates(
+            16,
+            [
+                Gate::h(0),
+                Gate::cx(0, 5),
+                Gate::cx(5, 10),
+                Gate::swap(10, 15),
+            ],
+        )
+    );
+}
+
+#[test]
+fn fixture_with_trailing_measurements_parses() {
+    let parsed =
+        parse_qasm(include_str!("fixtures/measurements.qasm")).expect("measurement fixture parses");
+    assert_eq!(
+        parsed,
+        Circuit::from_gates(3, [Gate::h(0), Gate::cx(0, 1), Gate::cx(1, 2)])
+    );
+}

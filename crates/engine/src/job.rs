@@ -47,6 +47,64 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Content-derived identity of a job, stable **across runs and processes**.
+///
+/// [`JobId`] is positional — it identifies a job within one submitted
+/// worklist and is what the executor schedules and merges by. A `JobKey` is
+/// the complementary identity for persistence: a `(namespace, key)` pair
+/// derived from the job's *inputs* (e.g. `("lightsabre", <circuit content
+/// hash>)`), so a result cache can recognise work it has already done even
+/// when the worklist that resubmits it is shaped differently — a resumed
+/// sharded run, a re-ordered suite, or a different tool subset.
+///
+/// The engine itself never interprets keys; pipelines use them to address
+/// cache entries (`results/<namespace>/<key>.json` in the suite store).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobKey {
+    namespace: String,
+    key: String,
+}
+
+impl JobKey {
+    /// Creates a key. `namespace` groups related work (typically a tool
+    /// name); `key` identifies the input (typically a content hash). Both
+    /// must be non-empty and path-safe (no separators), since caches use
+    /// them as directory and file names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either part is empty or contains `/`, `\` or `.` path
+    /// components that could escape a cache directory.
+    pub fn new(namespace: impl Into<String>, key: impl Into<String>) -> Self {
+        let namespace = namespace.into();
+        let key = key.into();
+        for part in [&namespace, &key] {
+            assert!(!part.is_empty(), "job key parts must be non-empty");
+            assert!(
+                !part.contains(['/', '\\']) && part != "." && part != "..",
+                "job key part {part:?} is not path-safe"
+            );
+        }
+        JobKey { namespace, key }
+    }
+
+    /// The grouping component (cache subdirectory).
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// The input-identity component (cache file stem).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl fmt::Display for JobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.namespace, self.key)
+    }
+}
+
 /// Per-job execution context handed to the job closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobContext {
@@ -107,6 +165,28 @@ mod tests {
         let seeds: std::collections::BTreeSet<u64> =
             (0..1024).map(|i| JobId(i).derive_seed(7)).collect();
         assert_eq!(seeds.len(), 1024);
+    }
+
+    #[test]
+    fn job_keys_are_path_safe_identities() {
+        let key = JobKey::new("lightsabre", "6c62272e07bb0142");
+        assert_eq!(key.namespace(), "lightsabre");
+        assert_eq!(key.key(), "6c62272e07bb0142");
+        assert_eq!(key.to_string(), "lightsabre/6c62272e07bb0142");
+        assert_eq!(key, JobKey::new("lightsabre", "6c62272e07bb0142"));
+        assert_ne!(key, JobKey::new("tket", "6c62272e07bb0142"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not path-safe")]
+    fn job_keys_reject_path_separators() {
+        JobKey::new("a/b", "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn job_keys_reject_empty_parts() {
+        JobKey::new("", "c");
     }
 
     #[test]

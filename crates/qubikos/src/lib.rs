@@ -51,11 +51,15 @@
 pub mod benchmark;
 pub mod certificate;
 pub mod generator;
+pub mod manifest;
 pub mod queko;
 pub mod suite;
 
 pub use benchmark::{QubikosCircuit, Section};
 pub use certificate::{verify_certificate, CertificateError};
 pub use generator::{generate, GenerateError, GeneratorConfig};
+pub use manifest::{
+    content_hash, instance_file_name, InstanceRecord, SuiteManifest, MANIFEST_FILE, MANIFEST_FORMAT,
+};
 pub use queko::{generate_queko, QuekoCircuit, QuekoConfig, QuekoError};
 pub use suite::{generate_suite, ExperimentPoint, SuiteConfig};

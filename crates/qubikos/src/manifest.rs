@@ -1,0 +1,204 @@
+//! The on-disk suite manifest: the schema that makes a benchmark suite a
+//! persistent, verifiable corpus instead of something regenerated inside
+//! every binary on every run.
+//!
+//! A stored suite is a directory of one OpenQASM file per instance plus a
+//! single `manifest.json` describing the whole grid: the [`SuiteConfig`] it
+//! was generated from, the device, and one [`InstanceRecord`] per circuit
+//! carrying the instance's derived seed, its designed (optimal) SWAP count,
+//! its file name, and the **content hash** of its QASM text. The hash is the
+//! suite's integrity anchor: loaders refuse silently-edited circuits, and
+//! the result cache keys evaluated routings by it (`results/<tool>/<hash>`),
+//! so a re-run only routes circuits whose bytes it has never seen.
+//!
+//! This module owns only the schema and the hash; all filesystem traffic
+//! lives in `qubikos_bench::store`.
+
+use crate::suite::{ExperimentPoint, SuiteConfig};
+use qubikos_arch::DeviceKind;
+use qubikos_circuit::to_qasm;
+use serde::{Deserialize, Serialize};
+
+/// Version of the on-disk manifest schema. Bumped on incompatible changes so
+/// loaders can fail with a clear message instead of a field error.
+pub const MANIFEST_FORMAT: u32 = 1;
+
+/// Name of the manifest file inside a suite directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One instance of a stored suite.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceRecord {
+    /// The designed (provably optimal) SWAP count.
+    pub swap_count: usize,
+    /// Index of the instance within its SWAP-count cell.
+    pub instance: usize,
+    /// The derived seed the instance was generated from
+    /// ([`SuiteConfig::instance_seed`]).
+    pub seed: u64,
+    /// Number of two-qubit gates in the circuit.
+    pub two_qubit_gates: usize,
+    /// File name of the instance's QASM export, relative to the suite
+    /// directory.
+    pub file: String,
+    /// Content hash of the QASM text (see [`content_hash`]).
+    pub content_hash: String,
+}
+
+/// The `manifest.json` of a stored suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteManifest {
+    /// Schema version ([`MANIFEST_FORMAT`]).
+    pub format: u32,
+    /// Device the suite was generated for.
+    pub device: DeviceKind,
+    /// The configuration the suite was generated from. Together with the
+    /// per-instance seeds this makes the stored corpus exactly reproducible.
+    pub config: SuiteConfig,
+    /// One record per instance, in suite (grid) order.
+    pub instances: Vec<InstanceRecord>,
+}
+
+impl SuiteManifest {
+    /// Builds the manifest describing `points` (as produced by
+    /// [`crate::generate_suite`] for `config` on `device`), computing each
+    /// instance's file name and QASM content hash.
+    pub fn describe(device: DeviceKind, config: &SuiteConfig, points: &[ExperimentPoint]) -> Self {
+        let instances = points
+            .iter()
+            .map(|point| InstanceRecord::describe(device, point))
+            .collect();
+        SuiteManifest {
+            format: MANIFEST_FORMAT,
+            device,
+            config: config.clone(),
+            instances,
+        }
+    }
+
+    /// The record for `(swap_count, instance)`, if the suite contains it.
+    pub fn find(&self, swap_count: usize, instance: usize) -> Option<&InstanceRecord> {
+        self.instances
+            .iter()
+            .find(|r| r.swap_count == swap_count && r.instance == instance)
+    }
+}
+
+impl InstanceRecord {
+    /// Builds the record for one generated point, including the content hash
+    /// of its canonical QASM serialization.
+    pub fn describe(device: DeviceKind, point: &ExperimentPoint) -> Self {
+        InstanceRecord {
+            swap_count: point.swap_count,
+            instance: point.instance,
+            seed: point.seed,
+            two_qubit_gates: point.benchmark.circuit().two_qubit_gate_count(),
+            file: instance_file_name(device, point.swap_count, point.instance),
+            content_hash: content_hash(&to_qasm(point.benchmark.circuit())),
+        }
+    }
+}
+
+/// Canonical QASM file name of one instance within a suite directory.
+pub fn instance_file_name(device: DeviceKind, swap_count: usize, instance: usize) -> String {
+    format!(
+        "{}_swaps{}_inst{}.qasm",
+        device.name(),
+        swap_count,
+        instance
+    )
+}
+
+/// Content hash of a QASM text: 128-bit FNV-1a, rendered as 32 hex digits.
+///
+/// FNV-1a is not cryptographic — the hash defends against accidental edits,
+/// truncation, and stale files, not against an adversary forging a circuit.
+/// 128 bits keep the birthday bound irrelevant at any realistic corpus size
+/// (a suite has hundreds of instances, not 2^64).
+pub fn content_hash(text: &str) -> String {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for byte in text.as_bytes() {
+        hash ^= u128::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    format!("{hash:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_suite;
+
+    fn tiny_suite() -> (SuiteConfig, Vec<ExperimentPoint>) {
+        let config = SuiteConfig {
+            swap_counts: vec![1, 2],
+            circuits_per_count: 2,
+            two_qubit_gates: 16,
+            base_seed: 9,
+        };
+        let arch = DeviceKind::Grid3x3.build();
+        let points = generate_suite(&arch, &config).expect("generates");
+        (config, points)
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let a = content_hash("cx q[0], q[1];\n");
+        assert_eq!(a, content_hash("cx q[0], q[1];\n"));
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, content_hash("cx q[0], q[2];\n"));
+        assert_ne!(a, content_hash(""));
+        // Known FNV-1a 128 vector: the empty string hashes to the offset.
+        assert_eq!(
+            content_hash(""),
+            "6c62272e07bb014262b821756295c58d".to_string()
+        );
+    }
+
+    #[test]
+    fn describe_covers_every_instance() {
+        let (config, points) = tiny_suite();
+        let manifest = SuiteManifest::describe(DeviceKind::Grid3x3, &config, &points);
+        assert_eq!(manifest.format, MANIFEST_FORMAT);
+        assert_eq!(manifest.instances.len(), 4);
+        assert_eq!(manifest.config, config);
+        for (record, point) in manifest.instances.iter().zip(&points) {
+            assert_eq!(record.swap_count, point.swap_count);
+            assert_eq!(record.seed, point.seed);
+            assert_eq!(
+                record.content_hash,
+                content_hash(&to_qasm(point.benchmark.circuit()))
+            );
+            assert!(record.file.ends_with(".qasm"));
+            assert!(record.file.contains(&format!("swaps{}", point.swap_count)));
+        }
+        // All hashes and file names are distinct.
+        let hashes: std::collections::BTreeSet<&str> = manifest
+            .instances
+            .iter()
+            .map(|r| r.content_hash.as_str())
+            .collect();
+        assert_eq!(hashes.len(), 4);
+        assert!(manifest.find(1, 0).is_some());
+        assert!(manifest.find(3, 0).is_none());
+    }
+
+    #[test]
+    fn manifest_serde_round_trip() {
+        let (config, points) = tiny_suite();
+        let manifest = SuiteManifest::describe(DeviceKind::Grid3x3, &config, &points);
+        let json = serde_json::to_string(&manifest).expect("serialize");
+        let back: SuiteManifest = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn file_names_are_canonical() {
+        assert_eq!(
+            instance_file_name(DeviceKind::Aspen4, 5, 3),
+            "aspen-4_swaps5_inst3.qasm"
+        );
+    }
+}
