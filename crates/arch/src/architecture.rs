@@ -1,6 +1,6 @@
 //! The [`Architecture`] type.
 
-use qubikos_graph::{DistanceMatrix, Edge, Graph, NodeId};
+use qubikos_graph::{DistanceOracle, DistanceRow, Edge, Graph, NodeId, OracleKind, OracleStats};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -35,7 +35,14 @@ impl fmt::Display for ArchitectureError {
 
 impl Error for ArchitectureError {}
 
-/// A named device: a connected coupling graph plus its distance matrix.
+/// A named device: a connected coupling graph plus its distance oracle.
+///
+/// [`Architecture::new`] picks the oracle automatically: devices up to
+/// [`qubikos_graph::DENSE_ORACLE_MAX_NODES`] qubits get the eager dense
+/// matrix, larger ones (Eagle-127, Osprey-433) the on-demand sparse BFS
+/// oracle so peak memory stays far below n². Both answer exact hop
+/// distances, so the choice can never change a routing result;
+/// [`Architecture::with_oracle`] overrides it for tests and benchmarks.
 ///
 /// # Example
 ///
@@ -51,21 +58,37 @@ impl Error for ArchitectureError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Architecture {
     name: String,
     coupling: Graph,
-    distances: DistanceMatrix,
+    oracle: DistanceOracle,
 }
 
 impl Architecture {
-    /// Builds an architecture from a coupling graph.
+    /// Builds an architecture from a coupling graph, selecting the distance
+    /// oracle automatically from the qubit count.
     ///
     /// # Errors
     ///
     /// Returns [`ArchitectureError::Empty`] for an empty graph and
     /// [`ArchitectureError::Disconnected`] if the graph is not connected.
     pub fn new(name: impl Into<String>, coupling: Graph) -> Result<Self, ArchitectureError> {
+        let kind = OracleKind::auto_for(coupling.node_count());
+        Self::with_oracle(name, coupling, kind)
+    }
+
+    /// Builds an architecture with an explicitly chosen oracle kind,
+    /// overriding the automatic size-based selection.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Architecture::new`].
+    pub fn with_oracle(
+        name: impl Into<String>,
+        coupling: Graph,
+        kind: OracleKind,
+    ) -> Result<Self, ArchitectureError> {
         if coupling.node_count() == 0 {
             return Err(ArchitectureError::Empty);
         }
@@ -73,11 +96,11 @@ impl Architecture {
         if components != 1 {
             return Err(ArchitectureError::Disconnected { components });
         }
-        let distances = DistanceMatrix::new(&coupling);
+        let oracle = DistanceOracle::build(&coupling, kind);
         Ok(Architecture {
             name: name.into(),
             coupling,
-            distances,
+            oracle,
         })
     }
 
@@ -101,18 +124,57 @@ impl Architecture {
         &self.coupling
     }
 
-    /// The precomputed all-pairs distance matrix.
-    pub fn distances(&self) -> &DistanceMatrix {
-        &self.distances
+    /// The distance oracle behind [`Self::distance`].
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
     }
 
-    /// Hop distance between two physical qubits.
+    /// Which oracle implementation this architecture uses.
+    pub fn oracle_kind(&self) -> OracleKind {
+        self.oracle.kind()
+    }
+
+    /// Oracle usage counters (rows computed, cache hits); see
+    /// [`OracleStats`] for the per-implementation semantics.
+    pub fn oracle_stats(&self) -> OracleStats {
+        self.oracle.stats()
+    }
+
+    /// Exact hop distance between two physical qubits.
+    ///
+    /// This is the single place the distance contract is defined; every
+    /// router and lower bound scores through it (or through
+    /// [`Self::distance_row`], which shares it):
+    ///
+    /// * Distances are exact BFS hop counts, identical for the dense and
+    ///   sparse oracles — oracle choice never changes a result.
+    /// * Qubits in range: the distance, `usize::MAX` only if the device
+    ///   were disconnected (construction rejects that, so in practice never).
+    /// * Qubits out of range: **debug builds panic**; release behaviour is
+    ///   unspecified (panic or an unrelated value, depending on the oracle).
+    ///   Callers that have not already validated their qubits must use
+    ///   [`Self::try_distance`].
+    pub fn distance(&self, a: PhysicalQubit, b: PhysicalQubit) -> usize {
+        self.oracle.distance(a, b)
+    }
+
+    /// Checked [`Self::distance`]: `None` when either qubit is out of range.
+    pub fn try_distance(&self, a: PhysicalQubit, b: PhysicalQubit) -> Option<usize> {
+        self.oracle.try_distance(a, b)
+    }
+
+    /// Distances from `a` to every physical qubit, as one row.
+    ///
+    /// Fetching a row once and indexing it beats repeated
+    /// [`Self::distance`] calls whenever one endpoint is fixed across many
+    /// queries (candidate scans in placement and routing): on the sparse
+    /// oracle it pins the row through one cache access instead of n.
     ///
     /// # Panics
     ///
-    /// Panics if either qubit is out of range.
-    pub fn distance(&self, a: PhysicalQubit, b: PhysicalQubit) -> usize {
-        self.distances.get(a, b)
+    /// Panics if `a` is out of range.
+    pub fn distance_row(&self, a: PhysicalQubit) -> DistanceRow<'_> {
+        self.oracle.distance_row(a)
     }
 
     /// Returns `true` if `a` and `b` are coupled (a two-qubit gate can run on them).
@@ -151,7 +213,41 @@ impl Architecture {
 
     /// Graph diameter (largest qubit-to-qubit distance).
     pub fn diameter(&self) -> usize {
-        self.distances.diameter().unwrap_or(0)
+        self.oracle.diameter().unwrap_or(0)
+    }
+}
+
+/// Structural identity: name, coupling graph, and oracle *kind*. Oracle
+/// cache state and stats are usage artifacts, not identity.
+impl PartialEq for Architecture {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.coupling == other.coupling
+            && self.oracle.kind() == other.oracle.kind()
+    }
+}
+
+impl Eq for Architecture {}
+
+/// Serializes as `{name, coupling, oracle}` where `oracle` is the kind; the
+/// oracle itself (derived data) is rebuilt on deserialization.
+impl Serialize for Architecture {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("name".to_string(), self.name.serialize_value()),
+            ("coupling".to_string(), self.coupling.serialize_value()),
+            ("oracle".to_string(), self.oracle.kind().serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for Architecture {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let name = String::deserialize_value(value.object_field("name")?)?;
+        let coupling = Graph::deserialize_value(value.object_field("coupling")?)?;
+        let kind = OracleKind::deserialize_value(value.object_field("oracle")?)?;
+        Architecture::with_oracle(name, coupling, kind)
+            .map_err(|e| serde::Error::new(format!("invalid architecture: {e}")))
     }
 }
 
@@ -171,7 +267,7 @@ impl fmt::Display for Architecture {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qubikos_graph::generators;
+    use qubikos_graph::{generators, DENSE_ORACLE_MAX_NODES};
 
     #[test]
     fn builds_from_connected_graph() {
@@ -187,6 +283,41 @@ mod tests {
         assert_eq!(arch.diameter(), 4);
         assert!((arch.average_degree() - 24.0 / 9.0).abs() < 1e-9);
         assert_eq!(arch.couplers().count(), 12);
+    }
+
+    #[test]
+    fn small_devices_get_dense_large_get_sparse() {
+        let small = Architecture::new("grid", generators::grid_graph(3, 3)).expect("connected");
+        assert_eq!(small.oracle_kind(), OracleKind::Dense);
+        assert_eq!(small.oracle_stats().rows_computed, 9);
+        let big = Architecture::new("big-grid", generators::grid_graph(9, 10)).expect("connected");
+        assert!(big.num_qubits() > DENSE_ORACLE_MAX_NODES);
+        assert_eq!(big.oracle_kind(), OracleKind::Sparse);
+        assert_eq!(big.oracle_stats().rows_computed, 0);
+    }
+
+    #[test]
+    fn oracle_override_answers_identically() {
+        let g = generators::grid_graph(3, 4);
+        let dense = Architecture::with_oracle("g", g.clone(), OracleKind::Dense).expect("ok");
+        let sparse = Architecture::with_oracle("g", g, OracleKind::Sparse).expect("ok");
+        for a in 0..12 {
+            for b in 0..12 {
+                assert_eq!(dense.distance(a, b), sparse.distance(a, b));
+                assert_eq!(dense.try_distance(a, b), sparse.try_distance(a, b));
+            }
+            assert_eq!(&dense.distance_row(a)[..], &sparse.distance_row(a)[..]);
+        }
+        assert_eq!(dense.diameter(), sparse.diameter());
+        assert_eq!(dense.try_distance(0, 99), None);
+        assert_eq!(sparse.try_distance(99, 0), None);
+        // Sparse stats reflect usage; dense reports its eager rows.
+        assert!(sparse.oracle_stats().queries > 0);
+        assert!(sparse.oracle_stats().cache_hits > 0);
+        assert_eq!(dense.oracle_stats().rows_computed, 12);
+        // Kind differs, so they are structurally distinct architectures.
+        assert_ne!(dense, sparse);
+        assert_eq!(dense.oracle().node_count(), 12);
     }
 
     #[test]
@@ -227,5 +358,26 @@ mod tests {
         let arch = Architecture::new("one", Graph::with_nodes(1)).expect("single qubit ok");
         assert_eq!(arch.num_qubits(), 1);
         assert_eq!(arch.diameter(), 0);
+    }
+
+    #[test]
+    fn serde_round_trips_both_oracle_kinds() {
+        for kind in [OracleKind::Dense, OracleKind::Sparse] {
+            let arch =
+                Architecture::with_oracle("rt", generators::grid_graph(3, 3), kind).expect("ok");
+            let json = serde_json::to_string(&arch).expect("serialize");
+            let back: Architecture = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, arch);
+            assert_eq!(back.oracle_kind(), kind);
+            assert_eq!(back.distance(0, 8), 4);
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_invalid_coupling() {
+        let err = serde_json::from_str::<Architecture>(
+            r#"{"name":"bad","coupling":{"adjacency":[]},"oracle":"Dense"}"#,
+        );
+        assert!(err.is_err());
     }
 }

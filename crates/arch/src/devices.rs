@@ -8,6 +8,7 @@
 //! | [`sycamore54`] | 54 | diagonal square lattice (Google Sycamore) |
 //! | [`rochester53`] | 53 | sparse heavy-hexagon-style lattice (IBM Rochester) |
 //! | [`eagle127`] | 127 | heavy-hexagon lattice (IBM Eagle / ibm_washington layout pattern) |
+//! | [`osprey433`] | 433 | heavy-hexagon lattice (IBM Osprey scale, beyond the paper's evaluation) |
 //!
 //! Rochester and Eagle are generated from the published heavy-hex pattern
 //! (long rows of qubits joined by sparse bridge qubits); the Rochester
@@ -17,6 +18,8 @@
 use crate::architecture::Architecture;
 use qubikos_graph::{generators, Graph};
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
 
 /// The devices used by the paper's experiments, as an enumerable handle.
 ///
@@ -34,16 +37,20 @@ pub enum DeviceKind {
     Rochester53,
     /// IBM Eagle, 127 qubits.
     Eagle127,
+    /// IBM Osprey, 433 qubits.
+    Osprey433,
 }
 
 impl DeviceKind {
-    /// Every device, in the order the paper presents them.
-    pub const ALL: [DeviceKind; 5] = [
+    /// Every device, in the order the paper presents them (Osprey, beyond
+    /// the paper's evaluation, last).
+    pub const ALL: [DeviceKind; 6] = [
         DeviceKind::Grid3x3,
         DeviceKind::Aspen4,
         DeviceKind::Sycamore54,
         DeviceKind::Rochester53,
         DeviceKind::Eagle127,
+        DeviceKind::Osprey433,
     ];
 
     /// The four large architectures of the Figure-4 evaluation (everything
@@ -63,6 +70,7 @@ impl DeviceKind {
             DeviceKind::Sycamore54 => sycamore54(),
             DeviceKind::Rochester53 => rochester53(),
             DeviceKind::Eagle127 => eagle127(),
+            DeviceKind::Osprey433 => osprey433(),
         }
     }
 
@@ -74,20 +82,112 @@ impl DeviceKind {
             DeviceKind::Sycamore54 => "sycamore-54",
             DeviceKind::Rochester53 => "rochester-53",
             DeviceKind::Eagle127 => "eagle-127",
+            DeviceKind::Osprey433 => "osprey-433",
         }
     }
 
-    /// Parses a device name as accepted by the experiment harness CLIs.
-    pub fn parse(name: &str) -> Option<DeviceKind> {
-        match name.to_ascii_lowercase().as_str() {
-            "grid" | "grid3x3" | "grid-3x3" => Some(DeviceKind::Grid3x3),
-            "aspen4" | "aspen-4" => Some(DeviceKind::Aspen4),
-            "sycamore" | "sycamore54" | "sycamore-54" => Some(DeviceKind::Sycamore54),
-            "rochester" | "rochester53" | "rochester-53" => Some(DeviceKind::Rochester53),
-            "eagle" | "eagle127" | "eagle-127" => Some(DeviceKind::Eagle127),
-            _ => None,
+    /// Every spelling [`Self::parse`] accepts, for error messages and
+    /// did-you-mean suggestions.
+    const ALIASES: [(&'static str, DeviceKind); 17] = [
+        ("grid", DeviceKind::Grid3x3),
+        ("grid3x3", DeviceKind::Grid3x3),
+        ("grid-3x3", DeviceKind::Grid3x3),
+        ("aspen4", DeviceKind::Aspen4),
+        ("aspen-4", DeviceKind::Aspen4),
+        ("sycamore", DeviceKind::Sycamore54),
+        ("sycamore54", DeviceKind::Sycamore54),
+        ("sycamore-54", DeviceKind::Sycamore54),
+        ("rochester", DeviceKind::Rochester53),
+        ("rochester53", DeviceKind::Rochester53),
+        ("rochester-53", DeviceKind::Rochester53),
+        ("eagle", DeviceKind::Eagle127),
+        ("eagle127", DeviceKind::Eagle127),
+        ("eagle-127", DeviceKind::Eagle127),
+        ("osprey", DeviceKind::Osprey433),
+        ("osprey433", DeviceKind::Osprey433),
+        ("osprey-433", DeviceKind::Osprey433),
+    ];
+
+    /// Parses a device name as accepted by the experiment harness CLIs
+    /// (case-insensitive; canonical names plus short aliases like
+    /// `"eagle"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeviceParseError`] carrying the rejected input and, when
+    /// a known spelling is close, a did-you-mean suggestion.
+    pub fn parse(name: &str) -> Result<DeviceKind, DeviceParseError> {
+        let lower = name.to_ascii_lowercase();
+        if let Some(&(_, kind)) = Self::ALIASES.iter().find(|(alias, _)| *alias == lower) {
+            return Ok(kind);
         }
+        let suggestion = Self::ALIASES
+            .iter()
+            .map(|&(alias, _)| (alias, edit_distance(&lower, alias)))
+            .min_by_key(|&(alias, d)| (d, alias))
+            .filter(|&(alias, d)| d <= 2.max(alias.len() / 3))
+            .map(|(alias, _)| alias);
+        Err(DeviceParseError {
+            input: name.to_string(),
+            suggestion,
+        })
     }
+}
+
+/// Error from [`DeviceKind::parse`]: the input was not a known device name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceParseError {
+    input: String,
+    suggestion: Option<&'static str>,
+}
+
+impl DeviceParseError {
+    /// The rejected input, verbatim.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The closest known spelling, when one is close enough to plausibly be
+    /// what the user meant.
+    pub fn suggestion(&self) -> Option<&'static str> {
+        self.suggestion
+    }
+
+    /// Canonical names of every known device, for "expected one of" help
+    /// text.
+    pub fn known_devices() -> impl Iterator<Item = &'static str> {
+        DeviceKind::ALL.iter().map(|k| k.name())
+    }
+}
+
+impl fmt::Display for DeviceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown device `{}`", self.input)?;
+        if let Some(suggestion) = self.suggestion {
+            write!(f, " (did you mean `{suggestion}`?)")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for DeviceParseError {}
+
+/// Levenshtein edit distance, for did-you-mean suggestions on the handful of
+/// short device aliases (the O(a·b) rolling-row version is plenty).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// 1-D chain of `n >= 2` qubits.
@@ -283,6 +383,19 @@ pub fn eagle127() -> Architecture {
     Architecture::new("eagle-127", g).expect("eagle is connected")
 }
 
+/// IBM Osprey scale: 433 qubits on the heavy-hexagon lattice (thirteen long
+/// rows of 26/27 qubits joined by 84 bridge qubits).
+///
+/// Osprey is beyond the paper's evaluation; it exists here as the scaling
+/// stress device for the sparse distance oracle (ROADMAP item 2) — a dense
+/// distance matrix for it would hold 433² ≈ 187k entries, none of which a
+/// route ever needs more than a few rows of.
+pub fn osprey433() -> Architecture {
+    let g = heavy_hex(13, 27);
+    debug_assert_eq!(g.node_count(), 433);
+    Architecture::new("osprey-433", g).expect("osprey is connected")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,11 +484,69 @@ mod tests {
         for kind in DeviceKind::ALL {
             let arch = kind.build();
             assert_eq!(arch.name(), kind.name());
-            assert_eq!(DeviceKind::parse(kind.name()), Some(kind));
+            assert_eq!(DeviceKind::parse(kind.name()), Ok(kind));
         }
-        assert_eq!(DeviceKind::parse("aspen4"), Some(DeviceKind::Aspen4));
-        assert_eq!(DeviceKind::parse("EAGLE"), Some(DeviceKind::Eagle127));
-        assert_eq!(DeviceKind::parse("unknown"), None);
+        assert_eq!(DeviceKind::parse("aspen4"), Ok(DeviceKind::Aspen4));
+        assert_eq!(DeviceKind::parse("EAGLE"), Ok(DeviceKind::Eagle127));
+        assert_eq!(DeviceKind::parse("osprey"), Ok(DeviceKind::Osprey433));
+    }
+
+    #[test]
+    fn parse_errors_suggest_close_spellings() {
+        let err = DeviceKind::parse("egale").unwrap_err();
+        assert_eq!(err.input(), "egale");
+        assert_eq!(err.suggestion(), Some("eagle"));
+        assert!(err.to_string().contains("did you mean `eagle`?"));
+
+        let err = DeviceKind::parse("rochster53").unwrap_err();
+        assert_eq!(err.suggestion(), Some("rochester53"));
+
+        // Nothing plausible: no suggestion, but the input is echoed.
+        let err = DeviceKind::parse("zzzzzzzzzzzz").unwrap_err();
+        assert_eq!(err.suggestion(), None);
+        assert!(err.to_string().contains("zzzzzzzzzzzz"));
+        assert!(!err.to_string().contains("did you mean"));
+
+        let known: Vec<&str> = DeviceParseError::known_devices().collect();
+        assert_eq!(known.len(), DeviceKind::ALL.len());
+        assert!(known.contains(&"osprey-433"));
+    }
+
+    #[test]
+    fn osprey_matches_design() {
+        let o = osprey433();
+        assert_eq!(o.num_qubits(), 433);
+        assert!(o.coupling_graph().is_connected());
+        // heavy_hex(13, 27): 11 full rows of 27 + 2 trimmed rows of 26 long
+        // qubits, 84 degree-2 bridges. Long-row edges: 2·25 + 11·26 = 336;
+        // bridge edges: 2 per bridge = 168.
+        assert_eq!(o.num_couplers(), 336 + 168);
+        let graph = o.coupling_graph();
+        assert_eq!(graph.max_degree(), 3);
+        let mut degree_histogram = [0usize; 4];
+        for q in graph.nodes() {
+            degree_histogram[graph.degree(q)] += 1;
+        }
+        // Degree-1: row-end qubits without a bridge (2 of the 26 row ends).
+        // Degree-2: the 84 bridges, the 24 bridged row ends, and interior
+        // long-row qubits with no bridge. Degree-3: interior long-row qubits
+        // under one of the remaining 144 bridge attachments. No isolated or
+        // higher-degree qubits exist on a heavy-hex lattice.
+        assert_eq!(degree_histogram, [0, 2, 287, 144]);
+        // Diameter spot-check: corner-to-corner must traverse every row band.
+        let d = o.diameter();
+        assert!((40..=80).contains(&d), "diameter {d}");
+        // Average degree stays heavy-hex sparse.
+        assert!(o.average_degree() < 2.5, "got {}", o.average_degree());
+    }
+
+    #[test]
+    fn large_devices_route_through_the_sparse_oracle() {
+        use qubikos_graph::OracleKind;
+        assert_eq!(eagle127().oracle_kind(), OracleKind::Sparse);
+        assert_eq!(osprey433().oracle_kind(), OracleKind::Sparse);
+        assert_eq!(rochester53().oracle_kind(), OracleKind::Dense);
+        assert_eq!(sycamore54().oracle_kind(), OracleKind::Dense);
     }
 
     #[test]

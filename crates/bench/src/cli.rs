@@ -108,7 +108,7 @@ USAGE:
   qubikos ablations [--threads N]
       Design ablation sweeps.
 
-DEV: grid | aspen4 | sycamore | rochester | eagle";
+DEV: grid | aspen4 | sycamore | rochester | eagle | osprey";
 
 /// `qubikos suite export` / the `export_suite` bin.
 ///
@@ -145,11 +145,11 @@ fn parse_arch(args: &[String]) -> Result<Option<DeviceKind>, Box<dyn std::error:
     match arg_value(args, "--arch") {
         None => Ok(None),
         Some(name) => match DeviceKind::parse(&name) {
-            Some(device) => Ok(Some(device)),
-            None => Err(format!(
-                "unknown --arch `{name}` (expected grid | aspen4 | sycamore | rochester | eagle)"
-            )
-            .into()),
+            Ok(device) => Ok(Some(device)),
+            Err(err) => {
+                let known: Vec<&str> = qubikos_arch::DeviceParseError::known_devices().collect();
+                Err(format!("--arch: {err} (known devices: {})", known.join(" | ")).into())
+            }
         },
     }
 }

@@ -1,0 +1,160 @@
+//! Compressed sparse row (CSR) adjacency.
+//!
+//! [`Graph`] stores one `Vec<NodeId>` per node, which is convenient to build
+//! incrementally but costs a pointer chase per neighbour list and a separate
+//! heap allocation per node. The routing-scale devices (heavy-hex lattices
+//! with hundreds of qubits) instead want the whole adjacency in two flat
+//! arrays so a BFS touches memory sequentially: [`CsrGraph`] is that frozen
+//! form, built once from a [`Graph`] and then shared read-only by the
+//! on-demand distance oracle.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Frozen CSR adjacency of an undirected graph.
+///
+/// Node `n`'s neighbours are `targets[offsets[n]..offsets[n + 1]]`, in the
+/// same ascending order [`Graph::neighbors`] reports them, so any traversal
+/// over the CSR form visits nodes in exactly the order it would over the
+/// original graph — the property that keeps sparse and dense distance
+/// machinery bit-identical.
+///
+/// Indices are `u32`: a coupling graph with more than four billion qubits is
+/// not a device, and halving the index width keeps a 433-qubit heavy-hex
+/// adjacency inside a few cache lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Freezes `graph` into CSR form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` nodes or directed edges.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        assert!(u32::try_from(n).is_ok(), "graph too large for u32 CSR ids");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for u in graph.nodes() {
+            for &v in graph.neighbors(u) {
+                targets.push(v as u32);
+            }
+            offsets.push(u32::try_from(targets.len()).expect("edge count fits u32"));
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbours of `n`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn neighbors(&self, n: NodeId) -> &[u32] {
+        &self.targets[self.offsets[n] as usize..self.offsets[n + 1] as usize]
+    }
+
+    /// Degree of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn degree(&self, n: NodeId) -> usize {
+        (self.offsets[n + 1] - self.offsets[n]) as usize
+    }
+
+    /// Fills `dist` with hop distances from `start` (`usize::MAX` when
+    /// unreachable), reusing `queue` as scratch. Produces exactly the
+    /// distances [`crate::traversal::bfs_distances`] computes on the
+    /// adjacency-list form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range or `dist` is shorter than the node
+    /// count.
+    pub fn bfs_into(&self, start: NodeId, dist: &mut [usize], queue: &mut VecDeque<u32>) {
+        let n = self.node_count();
+        assert!(start < n, "start node {start} out of range");
+        dist[..n].fill(usize::MAX);
+        dist[start] = 0;
+        queue.clear();
+        queue.push_back(start as u32);
+        while let Some(u) = queue.pop_front() {
+            let next = dist[u as usize] + 1;
+            for &v in self.neighbors(u as usize) {
+                if dist[v as usize] == usize::MAX {
+                    dist[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::bfs_distances;
+
+    #[test]
+    fn csr_mirrors_adjacency_lists() {
+        let g = generators::grid_graph(3, 4);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            let expected: Vec<u32> = g.neighbors(u).iter().map(|&v| v as u32).collect();
+            assert_eq!(csr.neighbors(u), expected.as_slice());
+            assert_eq!(csr.degree(u), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn bfs_into_matches_adjacency_bfs() {
+        let g = generators::grid_graph(4, 5);
+        let csr = CsrGraph::from_graph(&g);
+        let mut dist = vec![0usize; g.node_count()];
+        let mut queue = VecDeque::new();
+        for start in g.nodes() {
+            csr.bfs_into(start, &mut dist, &mut queue);
+            assert_eq!(dist, bfs_distances(&g, start), "row {start} diverged");
+        }
+    }
+
+    #[test]
+    fn bfs_into_reports_unreachable_as_max() {
+        let mut g = generators::path_graph(3);
+        let isolated = g.add_node();
+        let csr = CsrGraph::from_graph(&g);
+        let mut dist = vec![0usize; g.node_count()];
+        let mut queue = VecDeque::new();
+        csr.bfs_into(0, &mut dist, &mut queue);
+        assert_eq!(dist[isolated], usize::MAX);
+        assert_eq!(dist[2], 2);
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs() {
+        let csr = CsrGraph::from_graph(&Graph::new());
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        let csr = CsrGraph::from_graph(&Graph::with_nodes(1));
+        assert_eq!(csr.node_count(), 1);
+        assert!(csr.neighbors(0).is_empty());
+    }
+}

@@ -49,12 +49,20 @@ impl DistanceMatrix {
 
     /// Distance between `a` and `b` (`usize::MAX` if disconnected).
     ///
-    /// # Panics
-    ///
-    /// Panics if either node is out of range.
+    /// This is the unchecked hot-path accessor: node validity is only
+    /// debug-asserted. In release builds an out-of-range node either panics
+    /// on the flat-index bound or — because `a * n + b` can land inside the
+    /// backing array for a different pair — returns the distance of an
+    /// unrelated pair. Callers that have not already validated their indices
+    /// must use [`Self::try_get`].
     pub fn get(&self, a: NodeId, b: NodeId) -> usize {
-        assert!(a < self.n && b < self.n, "node out of range");
+        debug_assert!(a < self.n && b < self.n, "node out of range");
         self.data[a * self.n + b]
+    }
+
+    /// Checked [`Self::get`]: `None` when either node is out of range.
+    pub fn try_get(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        (a < self.n && b < self.n).then(|| self.data[a * self.n + b])
     }
 
     /// Row of distances from `a` to every node.
@@ -147,10 +155,20 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of range")]
-    fn get_out_of_range_panics() {
+    fn get_out_of_range_panics_in_debug() {
         let g = generators::path_graph(2);
         let d = DistanceMatrix::new(&g);
         let _ = d.get(0, 7);
+    }
+
+    #[test]
+    fn try_get_checks_bounds() {
+        let g = generators::path_graph(3);
+        let d = DistanceMatrix::new(&g);
+        assert_eq!(d.try_get(0, 2), Some(2));
+        assert_eq!(d.try_get(0, 3), None);
+        assert_eq!(d.try_get(5, 0), None);
     }
 }

@@ -9,8 +9,12 @@
 //! * [`Graph`] — a compact adjacency-list undirected graph.
 //! * [`traversal`] — BFS/DFS orders, BFS edge orders (used by the QUBIKOS
 //!   backbone construction), connected components.
-//! * [`distance`] — all-pairs shortest-path distances, the workhorse of every
-//!   SWAP-routing heuristic.
+//! * [`distance`] — dense all-pairs shortest-path distances, the small-device
+//!   workhorse of every SWAP-routing heuristic.
+//! * [`csr`] — frozen compressed-sparse-row adjacency for cache-friendly BFS
+//!   on routing-scale devices.
+//! * [`oracle`] — the [`DistanceOracle`] abstraction: dense matrix or
+//!   on-demand BFS with a bounded row cache, one exact-distance query API.
 //! * [`isomorphism`] — VF2-style subgraph monomorphism, used both to check
 //!   that QUBIKOS interaction graphs cannot be embedded into the coupling
 //!   graph and to implement QUEKO-style initial placement.
@@ -30,13 +34,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod distance;
 pub mod generators;
 pub mod graph;
 pub mod isomorphism;
+pub mod oracle;
 pub mod traversal;
 
+pub use csr::CsrGraph;
 pub use distance::DistanceMatrix;
 pub use graph::{Edge, Graph, NodeId};
 pub use isomorphism::{find_subgraph_embedding, is_subgraph_isomorphic, Vf2Matcher};
+pub use oracle::{
+    BfsOracle, DistanceOracle, DistanceRow, OracleKind, OracleStats, DENSE_ORACLE_MAX_NODES,
+    SPARSE_ROW_CACHE_CAPACITY,
+};
 pub use traversal::{bfs_distances, bfs_edge_order, bfs_order, connected_components};

@@ -258,14 +258,17 @@ impl AStarRouter {
     ) -> Vec<(NodeId, NodeId)> {
         let mut swaps = Vec::new();
         for &(a, b) in pairs {
-            while arch.distance(assignment[a], assignment[b]) > 1 {
+            // `b` never moves while `a` walks towards it (the walk's next hop
+            // is never `b`'s qubit), so one distance row serves the whole
+            // path.
+            let to_pb = arch.distance_row(assignment[b]);
+            while to_pb[assignment[a]] > 1 {
                 let pa = assignment[a];
-                let pb = assignment[b];
                 let next = arch
                     .neighbors(pa)
                     .iter()
                     .copied()
-                    .min_by_key(|&n| arch.distance(n, pb))
+                    .min_by_key(|&n| to_pb[n])
                     .expect("connected architecture");
                 swaps.push((pa, next));
                 for slot in assignment.iter_mut() {

@@ -216,11 +216,14 @@ pub fn force_adjacent(
         if arch.are_coupled(pa, pb) {
             break;
         }
+        // The walk's destination is fixed, so one distance row answers every
+        // neighbour comparison along the whole path.
+        let to_pb = arch.distance_row(pb);
         let next = arch
             .neighbors(pa)
             .iter()
             .copied()
-            .min_by_key(|&n| arch.distance(n, pb))
+            .min_by_key(|&n| to_pb[n])
             .expect("connected architecture");
         on_swap(pa, next);
         mapping.apply_swap_physical(pa, next);

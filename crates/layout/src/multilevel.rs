@@ -245,20 +245,19 @@ impl MultilevelRouter {
         let mut assignment = vec![usize::MAX; n];
         let mut used = vec![false; arch.num_qubits()];
         for &u in &order {
-            let placed: Vec<(NodeId, u64)> = level.weights[u]
+            // One distance row per placed neighbour (and one for the anchor)
+            // serves the whole candidate scan below.
+            let placed: Vec<(_, u64)> = level.weights[u]
                 .iter()
                 .filter(|&&(v, _)| assignment[v] != usize::MAX)
-                .map(|&(v, w)| (assignment[v], w))
+                .map(|&(v, w)| (arch.distance_row(assignment[v]), w))
                 .collect();
-            let anchor = coarse_assignment.map(|ca| ca[fine_to_coarse[u]]);
+            let anchor_row = coarse_assignment.map(|ca| arch.distance_row(ca[fine_to_coarse[u]]));
             let best = (0..arch.num_qubits())
                 .filter(|&p| !used[p])
                 .min_by_key(|&p| {
-                    let neighbor_cost: u64 = placed
-                        .iter()
-                        .map(|&(np, w)| w * arch.distance(p, np) as u64)
-                        .sum();
-                    let anchor_cost = anchor.map_or(0, |a| arch.distance(p, a) as u64);
+                    let neighbor_cost: u64 = placed.iter().map(|(row, w)| w * row[p] as u64).sum();
+                    let anchor_cost = anchor_row.as_ref().map_or(0, |row| row[p] as u64);
                     (
                         neighbor_cost + anchor_cost,
                         arch.num_qubits() - arch.degree(p),
@@ -275,6 +274,11 @@ impl MultilevelRouter {
     /// locations when it reduces the weighted interaction distance.
     fn refine(&self, level: &Level, arch: &Architecture, assignment: &mut [NodeId]) {
         let n = level.node_count();
+        // Point queries, deliberately: the pair sweep below makes `pos` a
+        // fresh source almost every call, so fetching a full row per call
+        // would evict the sparse oracle's cache on every iteration. Point
+        // lookups let the cache settle on the (stable) assignment-side rows
+        // via the oracle's symmetric-row check.
         let cost_of = |u: usize, pos: NodeId, assignment: &[NodeId]| -> u64 {
             level.weights[u]
                 .iter()

@@ -62,22 +62,22 @@ pub fn greedy_bfs_placement(circuit: &Circuit, arch: &Architecture) -> Mapping {
     let mut used = vec![false; n_phys];
 
     for &q in &order {
-        let placed_neighbors: Vec<NodeId> = interaction
+        // One distance row per placed interaction neighbour covers the whole
+        // candidate scan (instead of candidates × neighbours point queries).
+        let neighbor_rows: Vec<_> = interaction
             .neighbors(q)
             .iter()
             .filter_map(|&nb| assigned[nb])
+            .map(|np| arch.distance_row(np))
             .collect();
         let best = (0..n_phys)
             .filter(|&p| !used[p])
             .min_by_key(|&p| {
-                if placed_neighbors.is_empty() {
+                if neighbor_rows.is_empty() {
                     // Prefer well-connected physical qubits for hub program qubits.
                     (0usize, n_phys - arch.degree(p))
                 } else {
-                    let total: usize = placed_neighbors
-                        .iter()
-                        .map(|&np| arch.distance(p, np))
-                        .sum();
+                    let total: usize = neighbor_rows.iter().map(|row| row[p]).sum();
                     (total, n_phys - arch.degree(p))
                 }
             })

@@ -73,3 +73,38 @@ fn golden_swap_counts_on_heavy_hex() {
     let circuit = random_circuit(20, 60, 3);
     check_fixture("rochester-53", &arch, &circuit, [54, 71, 107, 85]);
 }
+
+/// The sparse oracle answers exactly the distances the dense matrix does, so
+/// forcing it onto the small fixture devices must reproduce every golden
+/// count bit-for-bit — the acceptance gate for swapping oracle
+/// implementations out from under the routers.
+#[test]
+fn golden_swap_counts_unchanged_under_sparse_oracle() {
+    use qubikos_graph::OracleKind;
+    /// (name, dense-oracle arch, circuit qubits, gates, seed, golden counts).
+    type Fixture = (&'static str, Architecture, usize, usize, u64, [usize; 4]);
+    let fixtures: [Fixture; 3] = [
+        ("line-8", devices::line(8), 6, 30, 42, [10, 16, 29, 25]),
+        ("grid-4x4", devices::grid(4, 4), 12, 60, 7, [16, 34, 48, 52]),
+        (
+            "rochester-53",
+            devices::rochester53(),
+            20,
+            60,
+            3,
+            [54, 71, 107, 85],
+        ),
+    ];
+    for (name, dense_arch, qubits, gates, seed, golden) in fixtures {
+        assert_eq!(dense_arch.oracle_kind(), OracleKind::Dense);
+        let sparse_arch = Architecture::with_oracle(
+            dense_arch.name(),
+            dense_arch.coupling_graph().clone(),
+            OracleKind::Sparse,
+        )
+        .expect("connected");
+        let circuit = random_circuit(qubits, gates, seed);
+        check_fixture(name, &sparse_arch, &circuit, golden);
+        assert!(sparse_arch.oracle_stats().rows_computed > 0);
+    }
+}

@@ -29,7 +29,9 @@ impl SuiteConfig {
             DeviceKind::Grid3x3 => 30,
             DeviceKind::Aspen4 => 300,
             DeviceKind::Sycamore54 | DeviceKind::Rochester53 => 1500,
-            DeviceKind::Eagle127 => 3000,
+            // Osprey extends the Eagle budget; the paper stops at Eagle, so
+            // the same deep-circuit regime is the natural extrapolation.
+            DeviceKind::Eagle127 | DeviceKind::Osprey433 => 3000,
         };
         SuiteConfig {
             swap_counts: vec![5, 10, 15, 20],

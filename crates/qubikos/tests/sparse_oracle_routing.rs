@@ -1,0 +1,149 @@
+//! Routing-scale gate for the sparse distance oracle (ISSUE 6 acceptance).
+//!
+//! Routes QUEKO instances on the 127-qubit Eagle heavy-hex device through
+//! all four routers and asserts — via `oracle_stats` — that no dense 127²
+//! distance matrix was ever materialized: the sparse oracle computed far
+//! fewer rows than qubits-squared and the architecture reports the sparse
+//! kind. Also pins the oracle's memory shape on the 433-qubit Osprey lattice
+//! and checks that routing results are identical whether the shared
+//! architecture is queried from one thread or many (cache state is a
+//! performance artifact, never a correctness input).
+
+use qubikos::queko::{generate_queko, QuekoConfig};
+use qubikos_arch::{devices, Architecture};
+use qubikos_graph::{DistanceOracle, OracleKind};
+use qubikos_layout::{validate_routing, ToolKind};
+
+const TOOL_SEED: u64 = 11;
+
+#[test]
+fn eagle127_queko_routes_through_all_four_routers_sparsely() {
+    let arch = devices::eagle127();
+    assert_eq!(arch.oracle_kind(), OracleKind::Sparse);
+    assert_eq!(arch.oracle_stats().rows_computed, 0);
+
+    // Modest depth/density keep the (deliberately expensive) QMAP A* router
+    // affordable in debug builds; the oracle assertions below don't depend
+    // on instance size.
+    let queko = generate_queko(&arch, &QuekoConfig::new(6).with_density(0.05).with_seed(5))
+        .expect("generates");
+    for tool in ToolKind::ALL {
+        let routed = tool
+            .build(TOOL_SEED)
+            .route(queko.circuit(), &arch)
+            .expect("fits");
+        validate_routing(queko.circuit(), &arch, &routed).expect("valid routing");
+    }
+
+    // A dense matrix holds all 127 rows resident; the sparse oracle must
+    // never hold more than its (64-slot) cache — that bound is the "no
+    // dense 127² matrix" assertion. QUEKO circuits are device-width, so
+    // placement alone makes every qubit a distance source: what stays small
+    // is the *resident* row count, not the set of sources ever queried.
+    let DistanceOracle::Sparse(oracle) = arch.oracle() else {
+        panic!("eagle-127 must use the sparse oracle");
+    };
+    assert!(oracle.cached_rows() <= oracle.row_cache_capacity());
+    assert!(
+        oracle.row_cache_capacity() < arch.num_qubits(),
+        "cache as large as the device — dense matrix in disguise"
+    );
+
+    // Recompute stays bounded and heavily amortized. Four routers over this
+    // instance measure ~5k row computations against ~580k distance queries;
+    // the known cache-thrash regressions (full-row fetches in the swap
+    // scorer / multilevel refinement) measured 20k–600k rows, so a 8k
+    // ceiling catches them with headroom to spare.
+    let stats = arch.oracle_stats();
+    assert!(stats.queries > 0, "routers never queried the oracle");
+    assert!(
+        stats.rows_computed < 8_000,
+        "sparse oracle recomputed {} rows — cache is thrashing",
+        stats.rows_computed
+    );
+    assert!(
+        stats.cache_hits > 10 * stats.rows_computed,
+        "row cache never amortized: {} hits vs {} rows",
+        stats.cache_hits,
+        stats.rows_computed
+    );
+}
+
+#[test]
+fn osprey433_memory_stays_sublinear_in_n_squared() {
+    let arch = devices::osprey433();
+    assert_eq!(arch.oracle_kind(), OracleKind::Sparse);
+
+    // Backbone-only: the memory-shape assertions below are instance-
+    // independent, and 433-qubit routing at real densities is a nightly
+    // benchmark (`oracle_bench`), not a unit-test workload.
+    let queko = generate_queko(&arch, &QuekoConfig::new(6).with_density(0.0).with_seed(8))
+        .expect("generates");
+    let routed = ToolKind::LightSabre
+        .build(TOOL_SEED)
+        .route(queko.circuit(), &arch)
+        .expect("fits");
+    validate_routing(queko.circuit(), &arch, &routed).expect("valid routing");
+
+    // Peak oracle memory is capacity × n words; a dense matrix would be
+    // n × n. The cache bound is the structural guarantee.
+    let DistanceOracle::Sparse(oracle) = arch.oracle() else {
+        panic!("osprey-433 must use the sparse oracle");
+    };
+    let cache_words = oracle.row_cache_capacity() * arch.num_qubits();
+    let dense_words = arch.num_qubits() * arch.num_qubits();
+    assert!(cache_words * 6 < dense_words, "cache not sublinear in n²");
+    assert!(oracle.cached_rows() <= oracle.row_cache_capacity());
+    assert!(arch.oracle_stats().rows_computed > 0);
+}
+
+/// Routing the same circuits on one shared sparse-oracle architecture from
+/// many threads (interleaving cache state arbitrarily) must produce exactly
+/// the SWAP counts sequential routing produces.
+#[test]
+fn shared_sparse_oracle_is_deterministic_across_thread_counts() {
+    let arch = devices::eagle127();
+    let circuits: Vec<_> = (0..2)
+        .map(|seed| {
+            generate_queko(
+                &arch,
+                &QuekoConfig::new(4).with_density(0.1).with_seed(seed),
+            )
+            .expect("generates")
+            .circuit()
+            .clone()
+        })
+        .collect();
+
+    let route_one = |arch: &Architecture, circuit: &qubikos_circuit::Circuit| -> Vec<usize> {
+        ToolKind::ALL
+            .into_iter()
+            .map(|tool| {
+                tool.build(TOOL_SEED)
+                    .route(circuit, arch)
+                    .expect("fits")
+                    .swap_count()
+            })
+            .collect()
+    };
+
+    // Sequential baseline on a fresh architecture (cold cache).
+    let baseline: Vec<Vec<usize>> = circuits.iter().map(|c| route_one(&arch, c)).collect();
+
+    // Warm, contended cache: all circuits in flight at once on one shared
+    // architecture, twice, against a second instance to also cover the
+    // fresh-clone path.
+    for arch in [&arch, &devices::eagle127()] {
+        let concurrent: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = circuits
+                .iter()
+                .map(|c| scope.spawn(move || route_one(arch, c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        assert_eq!(concurrent, baseline);
+    }
+}
