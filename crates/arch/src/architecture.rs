@@ -39,10 +39,13 @@ impl Error for ArchitectureError {}
 ///
 /// [`Architecture::new`] picks the oracle automatically: devices up to
 /// [`qubikos_graph::DENSE_ORACLE_MAX_NODES`] qubits get the eager dense
-/// matrix, larger ones (Eagle-127, Osprey-433) the on-demand sparse BFS
-/// oracle so peak memory stays far below n². Both answer exact hop
-/// distances, so the choice can never change a routing result;
-/// [`Architecture::with_oracle`] overrides it for tests and benchmarks.
+/// matrix, larger ones (Eagle-127, Osprey-433) the landmark-backed
+/// on-demand BFS oracle — a bounded, pinnable row cache for exact queries
+/// plus an O(L) triangle-inequality bound index for candidate-scan pruning
+/// — so peak memory stays far below n². Every point query is an exact hop
+/// distance on every tier, so the choice can never change a routing
+/// result; [`Architecture::with_oracle`] overrides it for tests and
+/// benchmarks.
 ///
 /// # Example
 ///
@@ -89,6 +92,29 @@ impl Architecture {
         coupling: Graph,
         kind: OracleKind,
     ) -> Result<Self, ArchitectureError> {
+        Self::with_oracle_capacity(name, coupling, kind, None)
+    }
+
+    /// Builds an architecture with an explicit oracle kind *and* row-cache
+    /// capacity (`None` = the default
+    /// [`qubikos_graph::SPARSE_ROW_CACHE_CAPACITY`]; ignored by the dense
+    /// matrix, which has no cache). Capacity is a performance knob, not
+    /// identity: it does not participate in equality or serialization, and
+    /// a deserialized architecture gets the default capacity back.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Architecture::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_capacity` is `Some(0)` for a cached oracle kind.
+    pub fn with_oracle_capacity(
+        name: impl Into<String>,
+        coupling: Graph,
+        kind: OracleKind,
+        row_capacity: Option<usize>,
+    ) -> Result<Self, ArchitectureError> {
         if coupling.node_count() == 0 {
             return Err(ArchitectureError::Empty);
         }
@@ -96,7 +122,7 @@ impl Architecture {
         if components != 1 {
             return Err(ArchitectureError::Disconnected { components });
         }
-        let oracle = DistanceOracle::build(&coupling, kind);
+        let oracle = DistanceOracle::build_with_capacity(&coupling, kind, row_capacity);
         Ok(Architecture {
             name: name.into(),
             coupling,
@@ -138,6 +164,15 @@ impl Architecture {
     /// [`OracleStats`] for the per-implementation semantics.
     pub fn oracle_stats(&self) -> OracleStats {
         self.oracle.stats()
+    }
+
+    /// Pins the distance rows for `qubits` in the oracle's row cache — the
+    /// routing kernel's front-locality hint (see
+    /// [`qubikos_graph::BfsOracle::pin_rows`]). A no-op for the dense
+    /// matrix. Pinning is a replacement-policy hint only; it never changes
+    /// a distance answer.
+    pub fn pin_distance_sources(&self, qubits: &[PhysicalQubit]) {
+        self.oracle.pin_rows(qubits);
     }
 
     /// Exact hop distance between two physical qubits.
@@ -286,14 +321,37 @@ mod tests {
     }
 
     #[test]
-    fn small_devices_get_dense_large_get_sparse() {
+    fn small_devices_get_dense_large_get_landmark() {
         let small = Architecture::new("grid", generators::grid_graph(3, 3)).expect("connected");
         assert_eq!(small.oracle_kind(), OracleKind::Dense);
         assert_eq!(small.oracle_stats().rows_computed, 9);
         let big = Architecture::new("big-grid", generators::grid_graph(9, 10)).expect("connected");
         assert!(big.num_qubits() > DENSE_ORACLE_MAX_NODES);
-        assert_eq!(big.oracle_kind(), OracleKind::Sparse);
+        assert_eq!(big.oracle_kind(), OracleKind::Landmark);
         assert_eq!(big.oracle_stats().rows_computed, 0);
+        assert!(big.oracle().landmark().is_some());
+    }
+
+    #[test]
+    fn capacity_override_and_pin_channel_thread_through() {
+        let g = generators::grid_graph(9, 10);
+        let arch = Architecture::with_oracle_capacity("g", g, OracleKind::Landmark, Some(7))
+            .expect("connected");
+        let tier = arch.oracle().row_tier().expect("cached kind");
+        assert_eq!(tier.row_cache_capacity(), 7);
+        arch.pin_distance_sources(&[0, 1, 2]);
+        assert_eq!(tier.pinned_nodes(), 3);
+        let _ = arch.distance(0, 89);
+        let _ = arch.distance(0, 50);
+        assert_eq!(arch.oracle_stats().pinned_hits, 1);
+        // Capacity is not identity: same name/coupling/kind compare equal.
+        let default_cap =
+            Architecture::with_oracle("g", arch.coupling_graph().clone(), OracleKind::Landmark)
+                .expect("connected");
+        assert_eq!(arch, default_cap);
+        // Dense architectures accept (and ignore) the pin hint.
+        let dense = Architecture::new("d", generators::grid_graph(3, 3)).expect("connected");
+        dense.pin_distance_sources(&[0]);
     }
 
     #[test]
@@ -361,8 +419,8 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trips_both_oracle_kinds() {
-        for kind in [OracleKind::Dense, OracleKind::Sparse] {
+    fn serde_round_trips_all_oracle_kinds() {
+        for kind in [OracleKind::Dense, OracleKind::Sparse, OracleKind::Landmark] {
             let arch =
                 Architecture::with_oracle("rt", generators::grid_graph(3, 3), kind).expect("ok");
             let json = serde_json::to_string(&arch).expect("serialize");

@@ -1,0 +1,65 @@
+//! `QUBIKOS_ORACLE_ROWS` override for devices built through
+//! `DeviceKind::build` (the CLI chokepoint).
+//!
+//! Environment variables are process-global, so every scenario lives in one
+//! test function — this file is its own test binary precisely so the
+//! mutation cannot race the rest of the arch suite.
+
+use qubikos_arch::devices::{self, DeviceKind, ORACLE_ROWS_ENV};
+use qubikos_graph::OracleKind;
+
+#[test]
+fn oracle_rows_env_overrides_cache_capacity_for_cli_built_devices() {
+    let capacity_of = |kind: DeviceKind| {
+        kind.build()
+            .oracle()
+            .row_tier()
+            .expect("cached oracle")
+            .row_cache_capacity()
+    };
+
+    // Unset: the default capacity.
+    std::env::remove_var(ORACLE_ROWS_ENV);
+    assert_eq!(devices::oracle_rows_override(), None);
+    assert_eq!(
+        capacity_of(DeviceKind::Eagle127),
+        qubikos_graph::default_row_capacity(127)
+    );
+
+    // Set: cached devices pick the capacity up; distances stay exact.
+    std::env::set_var(ORACLE_ROWS_ENV, "17");
+    assert_eq!(devices::oracle_rows_override(), Some(17));
+    let eagle = DeviceKind::Eagle127.build();
+    assert_eq!(eagle.oracle_kind(), OracleKind::Landmark);
+    assert_eq!(
+        eagle
+            .oracle()
+            .row_tier()
+            .expect("cached")
+            .row_cache_capacity(),
+        17
+    );
+    let reference = devices::eagle127(); // direct builder: default capacity
+    for q in [0, 63, 126] {
+        assert_eq!(
+            &eagle.distance_row(q)[..],
+            &reference.distance_row(q)[..],
+            "capacity must never change a distance"
+        );
+    }
+
+    // Dense devices ignore the override entirely.
+    let dense = DeviceKind::Grid3x3.build();
+    assert_eq!(dense.oracle_kind(), OracleKind::Dense);
+    assert!(dense.oracle().row_tier().is_none());
+
+    // Invalid values (non-numeric, zero, negative) are ignored, not fatal.
+    for bad in ["banana", "0", "-3", ""] {
+        std::env::set_var(ORACLE_ROWS_ENV, bad);
+        assert_eq!(devices::oracle_rows_override(), None, "value {bad:?}");
+    }
+    std::env::set_var(ORACLE_ROWS_ENV, " 8 "); // whitespace is trimmed
+    assert_eq!(devices::oracle_rows_override(), Some(8));
+
+    std::env::remove_var(ORACLE_ROWS_ENV);
+}

@@ -1,12 +1,14 @@
 //! Distance-oracle scaling smoke for nightly CI.
 //!
-//! Routes a 127-qubit Eagle QUEKO instance through all four QLS tools (and a
-//! 433-qubit Osprey instance through LightSABRE) on the sparse BFS oracle,
-//! and writes an `oracle_timings.json` report pairing per-router wall-clock
+//! Routes a 127-qubit Eagle QUEKO instance and a 433-qubit Osprey QUEKO
+//! instance through all four QLS tools on the landmark-backed oracle, and
+//! writes an `oracle_timings.json` report pairing per-router wall-clock
 //! medians with the oracle's own counters — queries answered, BFS rows
-//! recomputed, cache hits, peak resident rows. A routing change that starts
-//! thrashing the bounded row cache shows up here as a `rows_computed` jump
-//! long before it costs enough wall-clock to fail a timing gate.
+//! recomputed, cache hits, pinned-row hits, landmark bound queries, exact
+//! fallbacks, and the landmark index's measured stretch. A routing change
+//! that starts thrashing the bounded row cache shows up here as a
+//! `rows_computed` jump long before it costs enough wall-clock to fail a
+//! timing gate; a landmark-selection regression shows up as a stretch jump.
 //!
 //! ```text
 //! oracle_bench                                # print the table
@@ -18,9 +20,11 @@ use qubikos::queko::{generate_queko, QuekoConfig};
 use qubikos_arch::{devices, Architecture};
 use qubikos_bench::microbench::TimingSamples;
 use qubikos_circuit::Circuit;
-use qubikos_graph::DistanceOracle;
 use qubikos_layout::ToolKind;
 use serde::Serialize;
+
+/// Sources sampled by the per-device landmark stretch sweep.
+const STRETCH_SOURCES: usize = 16;
 
 /// One (device, tool) row in the JSON export (durations in nanoseconds).
 #[derive(Debug, Serialize)]
@@ -43,11 +47,22 @@ struct OracleTiming {
     rows_computed: u64,
     /// Queries answered from the bounded row cache.
     cache_hits: u64,
+    /// Cache hits on rows pinned for the scorer's current gate front.
+    pinned_hits: u64,
+    /// Approximate bound queries answered by the landmark index.
+    landmark_queries: u64,
+    /// Candidates bound pruning could not discard (scored exactly).
+    exact_fallbacks: u64,
     /// Rows resident after the route — never exceeds `cache_capacity`.
     cached_rows: usize,
     /// The oracle's row-cache bound (0 for the dense backend, which holds
     /// every row by construction).
     cache_capacity: usize,
+    /// Worst sampled `upper_bound / exact` of the landmark index over
+    /// [`STRETCH_SOURCES`] BFS sources (`None` without a landmark tier,
+    /// `1.0` when every sampled upper bound was exact). A device property,
+    /// not a route property — identical across this device's rows.
+    landmark_stretch: Option<f64>,
 }
 
 fn bench_route(
@@ -55,6 +70,7 @@ fn bench_route(
     circuit: &Circuit,
     tool: ToolKind,
     samples: usize,
+    landmark_stretch: Option<f64>,
 ) -> OracleTiming {
     let router = tool.build(7);
     // Warm-up run doubles as the SWAP-count and oracle-stats witness.
@@ -65,9 +81,9 @@ fn bench_route(
         let result = router.route(circuit, arch).expect("fits");
         std::hint::black_box(result);
     });
-    let (cached_rows, cache_capacity) = match arch.oracle() {
-        DistanceOracle::Sparse(oracle) => (oracle.cached_rows(), oracle.row_cache_capacity()),
-        DistanceOracle::Dense(_) => (arch.num_qubits(), 0),
+    let (cached_rows, cache_capacity) = match arch.oracle().row_tier() {
+        Some(rows) => (rows.cached_rows(), rows.row_cache_capacity()),
+        None => (arch.num_qubits(), 0),
     };
     OracleTiming {
         device: arch.name().to_string(),
@@ -82,9 +98,21 @@ fn bench_route(
         queries: delta.queries,
         rows_computed: delta.rows_computed,
         cache_hits: delta.cache_hits,
+        pinned_hits: delta.pinned_hits,
+        landmark_queries: delta.landmark_queries,
+        exact_fallbacks: delta.exact_fallbacks,
         cached_rows,
         cache_capacity,
+        landmark_stretch,
     }
+}
+
+/// Measure the landmark stretch once per device, before any routing, so the
+/// sweep's own row traffic never contaminates a route's stats delta.
+fn device_stretch(arch: &Architecture) -> Option<f64> {
+    arch.oracle()
+        .landmark()
+        .map(|oracle| oracle.measured_stretch(STRETCH_SOURCES))
 }
 
 fn main() {
@@ -94,39 +122,62 @@ fn main() {
 
     let mut rows = Vec::new();
     println!(
-        "{:<12} {:<12} {:>10} {:>7} {:>12} {:>10} {:>12} {:>7}",
-        "device", "tool", "median", "swaps", "queries", "rows", "hits", "cached"
+        "{:<12} {:<12} {:>10} {:>7} {:>12} {:>8} {:>10} {:>8} {:>8} {:>8} {:>7}",
+        "device",
+        "tool",
+        "median",
+        "swaps",
+        "queries",
+        "rows",
+        "hits",
+        "pinned",
+        "lmq",
+        "exact",
+        "stretch"
     );
 
     // Eagle-127 through all four routers: the headline scaling scenario.
     // Density 0.05 keeps the source working set inside the row cache (the
-    // cliff sits between 0.05 and 0.08 at 64 slots — see the routing-scale
+    // cliff sat between 0.05 and 0.08 at 64 slots — see the routing-scale
     // test in `qubikos`), so this row doubles as a thrash tripwire.
     let eagle = devices::eagle127();
+    let eagle_stretch = device_stretch(&eagle);
     let queko = generate_queko(&eagle, &QuekoConfig::new(6).with_density(0.05).with_seed(5))
         .expect("generates");
     for tool in ToolKind::ALL {
-        rows.push(bench_route(&eagle, queko.circuit(), tool, samples));
+        rows.push(bench_route(
+            &eagle,
+            queko.circuit(),
+            tool,
+            samples,
+            eagle_stretch,
+        ));
     }
 
-    // Osprey-433 through LightSABRE only: 3.4x the qubits on the same
-    // 64-row cache, pinning the memory-sublinear claim at depth.
+    // Osprey-433 through all four routers: 3.4x the qubits on a row cache
+    // that stays sublinear in n², pinning the per-gate-cost claim at depth.
+    // Shallow density keeps the (deliberately expensive) A* router
+    // affordable; the oracle counters don't depend on instance size.
     let osprey = devices::osprey433();
+    let osprey_stretch = device_stretch(&osprey);
     let queko = generate_queko(
         &osprey,
         &QuekoConfig::new(6).with_density(0.01).with_seed(8),
     )
     .expect("generates");
-    rows.push(bench_route(
-        &osprey,
-        queko.circuit(),
-        ToolKind::LightSabre,
-        samples,
-    ));
+    for tool in ToolKind::ALL {
+        rows.push(bench_route(
+            &osprey,
+            queko.circuit(),
+            tool,
+            samples,
+            osprey_stretch,
+        ));
+    }
 
     for row in &rows {
         println!(
-            "{:<12} {:<12} {:>7.1} ms {:>7} {:>12} {:>10} {:>12} {:>7}",
+            "{:<12} {:<12} {:>7.1} ms {:>7} {:>12} {:>8} {:>10} {:>8} {:>8} {:>8} {:>7}",
             row.device,
             row.tool,
             row.median_ns as f64 / 1e6,
@@ -134,7 +185,11 @@ fn main() {
             row.queries,
             row.rows_computed,
             row.cache_hits,
-            row.cached_rows
+            row.pinned_hits,
+            row.landmark_queries,
+            row.exact_fallbacks,
+            row.landmark_stretch
+                .map_or_else(|| "-".to_string(), |s| format!("{s:.2}")),
         );
     }
 

@@ -1,0 +1,532 @@
+//! Landmark (Thorup–Zwick-style) approximate distance bounds.
+//!
+//! The routers' candidate scans ask for thousands of point distances per
+//! routing decision, almost all of which only need to be *compared*, not
+//! known exactly: a candidate SWAP whose best-case cost is worse than some
+//! other candidate's worst-case cost can be discarded without ever fetching
+//! an exact BFS row. A [`LandmarkIndex`] makes that comparison O(L): pick
+//! `L` landmarks (degree-seeded, then farthest-point coverage), run one BFS
+//! per landmark at construction, and answer every later query `(a, b)` with
+//! the triangle-inequality bracket
+//!
+//! ```text
+//!   max_l |d(l,a) - d(l,b)|  <=  d(a,b)  <=  min_l d(l,a) + d(l,b)
+//! ```
+//!
+//! Both bounds are exact integers derived from exact BFS rows, so the
+//! bracket always contains the true distance — the property the routing
+//! kernel's prune-then-tie-break scan relies on for bit-identical results.
+//!
+//! [`LandmarkOracle`] packages the index with an exact [`BfsOracle`]: point
+//! queries and rows stay exact (routing decisions never change), while the
+//! bounds answer the candidate-scan workload without touching the bounded
+//! row cache. This is the third [`crate::DistanceOracle`] tier, selected
+//! automatically for routing-scale devices.
+
+use crate::csr::CsrGraph;
+use crate::graph::{Graph, NodeId};
+use crate::oracle::{BfsOracle, OracleStats};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Distance sentinel for unreachable nodes inside the packed `u32` rows.
+const UNREACHABLE: u32 = u32::MAX;
+
+/// Default landmark count for an `n`-node graph: `ceil(sqrt(n))`, clamped
+/// to `[4, 32]` (and to `n`). Eagle-127 gets 12 landmarks, Osprey-433 gets
+/// 21 — a few kilobytes of rows against microsecond-scale bound queries.
+pub fn default_landmark_count(n: usize) -> usize {
+    let sqrt = (n as f64).sqrt().ceil() as usize;
+    sqrt.clamp(4, 32).min(n.max(1))
+}
+
+/// The landmark distance index: `L` exact BFS rows plus the
+/// triangle-inequality bound machinery. See the module docs.
+#[derive(Debug)]
+pub struct LandmarkIndex {
+    /// Chosen landmark nodes, in selection order.
+    landmarks: Vec<u32>,
+    /// `rows[l * n + v]` = exact hop distance from landmark `l` to `v`.
+    rows: Vec<u32>,
+    n: usize,
+    /// Bound queries answered (the `landmark_queries` stat).
+    queries: AtomicU64,
+}
+
+impl LandmarkIndex {
+    /// Builds an index over `graph` with [`default_landmark_count`]
+    /// landmarks.
+    pub fn new(graph: &Graph) -> Self {
+        Self::with_landmarks(graph, default_landmark_count(graph.node_count()))
+    }
+
+    /// Builds an index with (up to) `count` landmarks.
+    ///
+    /// Selection is deterministic: the first landmark is the
+    /// highest-degree node (lowest id on ties); each subsequent landmark is
+    /// the node farthest from every chosen landmark (ties: higher degree,
+    /// then lower id), so landmarks spread out to cover the graph.
+    /// Selection stops early once every node is itself a landmark.
+    pub fn with_landmarks(graph: &Graph, count: usize) -> Self {
+        let csr = CsrGraph::from_graph(graph);
+        let n = csr.node_count();
+        if n == 0 {
+            return LandmarkIndex {
+                landmarks: Vec::new(),
+                rows: Vec::new(),
+                n: 0,
+                queries: AtomicU64::new(0),
+            };
+        }
+        let count = count.clamp(1, n);
+        let mut landmarks: Vec<u32> = Vec::with_capacity(count);
+        let mut rows: Vec<u32> = Vec::with_capacity(count * n);
+        // nearest[v] = hop distance from v to its closest chosen landmark.
+        let mut nearest = vec![usize::MAX; n];
+        let mut dist = vec![0usize; n];
+        let mut queue = VecDeque::new();
+        let mut is_landmark = vec![false; n];
+
+        let first = (0..n)
+            .max_by_key(|&v| (csr.degree(v), std::cmp::Reverse(v)))
+            .expect("n > 0");
+        let mut next = first;
+        for _ in 0..count {
+            landmarks.push(next as u32);
+            is_landmark[next] = true;
+            csr.bfs_into(next, &mut dist, &mut queue);
+            for &d in &dist[..n] {
+                rows.push(if d == usize::MAX {
+                    UNREACHABLE
+                } else {
+                    u32::try_from(d).expect("hop distance fits u32")
+                });
+            }
+            for (v, &d) in dist[..n].iter().enumerate() {
+                if d < nearest[v] {
+                    nearest[v] = d;
+                }
+            }
+            // Farthest-point step; uncovered components (distance MAX) are
+            // picked first, giving every component coverage.
+            let Some(candidate) = (0..n)
+                .filter(|&v| !is_landmark[v])
+                .max_by_key(|&v| (nearest[v], csr.degree(v), std::cmp::Reverse(v)))
+            else {
+                break; // every node is a landmark
+            };
+            next = candidate;
+        }
+        LandmarkIndex {
+            landmarks,
+            rows,
+            n,
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of landmarks in the index.
+    pub fn landmark_count(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// The landmark nodes, in selection order.
+    pub fn landmarks(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.landmarks.iter().map(|&l| l as NodeId)
+    }
+
+    /// Number of nodes the index answers for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Bound queries answered since construction (or the last clone).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The triangle-inequality bracket `(lower, upper)` with
+    /// `lower <= d(a, b) <= upper`, in O(landmarks).
+    ///
+    /// `upper` is `usize::MAX` when no landmark connects `a` and `b`;
+    /// `lower` is `usize::MAX` when some landmark proves the pair
+    /// disconnected. On connected graphs both are always finite, and the
+    /// bracket collapses to the exact distance whenever `a` or `b` is a
+    /// landmark (or the pair is degenerate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range (checked in debug builds; in
+    /// release builds the underlying indexing panics).
+    pub fn bounds(&self, a: NodeId, b: NodeId) -> (usize, usize) {
+        debug_assert!(a < self.n && b < self.n, "node out of range");
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if a == b {
+            return (0, 0);
+        }
+        let mut lower = 1usize; // distinct nodes are at least one hop apart
+        let mut upper = usize::MAX;
+        for l in 0..self.landmarks.len() {
+            let da = self.rows[l * self.n + a];
+            let db = self.rows[l * self.n + b];
+            match (da == UNREACHABLE, db == UNREACHABLE) {
+                (false, false) => {
+                    let (da, db) = (da as usize, db as usize);
+                    upper = upper.min(da + db);
+                    lower = lower.max(da.abs_diff(db));
+                    if lower == upper {
+                        break; // bracket is tight: the bound is exact
+                    }
+                }
+                (true, true) => {} // landmark sees neither endpoint
+                // Exactly one endpoint shares a component with the
+                // landmark, so the two endpoints are disconnected.
+                _ => return (usize::MAX, usize::MAX),
+            }
+        }
+        (lower, upper)
+    }
+
+    /// Clones the rows with a zeroed query counter.
+    fn clone_cold(&self) -> Self {
+        LandmarkIndex {
+            landmarks: self.landmarks.clone(),
+            rows: self.rows.clone(),
+            n: self.n,
+            queries: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The two-tier routing-scale oracle: a [`LandmarkIndex`] for approximate
+/// bound queries over an exact [`BfsOracle`] for everything else.
+///
+/// Point distances, rows, diameter and connectivity all delegate to the
+/// exact tier, so swapping this oracle in for the dense matrix or the plain
+/// sparse oracle can never change a routing result — the landmark tier only
+/// adds [`Self::bounds`] (used by the SWAP scorer to prune candidates) and
+/// the counters describing how often the exact tier was consulted.
+#[derive(Debug)]
+pub struct LandmarkOracle {
+    exact: BfsOracle,
+    index: LandmarkIndex,
+    /// Candidates that survived bound pruning and were scored exactly
+    /// (recorded by the routing kernel via
+    /// [`Self::record_exact_fallbacks`]).
+    exact_fallbacks: AtomicU64,
+}
+
+impl LandmarkOracle {
+    /// An oracle over `graph` with the default row-cache capacity and
+    /// landmark count.
+    pub fn new(graph: &Graph) -> Self {
+        Self::with_config(
+            graph,
+            crate::oracle::default_row_capacity(graph.node_count()),
+            default_landmark_count(graph.node_count()),
+        )
+    }
+
+    /// An oracle caching at most `row_capacity` exact rows, with
+    /// `landmark_count` landmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_capacity` is zero.
+    pub fn with_config(graph: &Graph, row_capacity: usize, landmark_count: usize) -> Self {
+        LandmarkOracle {
+            exact: BfsOracle::with_row_capacity(graph, row_capacity),
+            index: LandmarkIndex::with_landmarks(graph, landmark_count),
+            exact_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The landmark bound index.
+    pub fn index(&self) -> &LandmarkIndex {
+        &self.index
+    }
+
+    /// The exact tier.
+    pub fn exact(&self) -> &BfsOracle {
+        &self.exact
+    }
+
+    /// Triangle-inequality distance bracket; see [`LandmarkIndex::bounds`].
+    pub fn bounds(&self, a: NodeId, b: NodeId) -> (usize, usize) {
+        self.index.bounds(a, b)
+    }
+
+    /// Exact hop distance (delegates to the exact tier; see
+    /// [`BfsOracle::distance`]).
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.exact.distance(a, b)
+    }
+
+    /// Checked [`Self::distance`].
+    pub fn try_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        self.exact.try_distance(a, b)
+    }
+
+    /// Exact distance row, shared with the exact tier's cache.
+    pub fn distance_row(&self, a: NodeId) -> Arc<[usize]> {
+        self.exact.distance_row(a)
+    }
+
+    /// Number of nodes the oracle answers for.
+    pub fn node_count(&self) -> usize {
+        self.exact.node_count()
+    }
+
+    /// Largest finite distance (the [`BfsOracle::diameter`] contract).
+    pub fn diameter(&self) -> Option<usize> {
+        self.exact.diameter()
+    }
+
+    /// `true` if every pair of nodes has a finite distance.
+    pub fn is_connected(&self) -> bool {
+        self.exact.is_connected()
+    }
+
+    /// Records `count` candidates that bound pruning could not discard and
+    /// that were therefore scored through the exact tier.
+    pub fn record_exact_fallbacks(&self, count: u64) {
+        self.exact_fallbacks.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Combined usage counters of both tiers.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            landmark_queries: self.index.queries(),
+            exact_fallbacks: self.exact_fallbacks.load(Ordering::Relaxed),
+            ..self.exact.stats()
+        }
+    }
+
+    /// The measured stretch of the landmark upper bound against exact
+    /// distances, sampled over (at most) `max_sources` evenly spaced BFS
+    /// sources paired with every target: `max upper / d(a, b)` over sampled
+    /// pairs with `d > 0`. Deterministic; `1.0` means every sampled upper
+    /// bound was exact. Exact rows are fetched through the exact tier, so
+    /// the sweep shows up in [`Self::stats`] like any other row traffic.
+    pub fn measured_stretch(&self, max_sources: usize) -> f64 {
+        let n = self.node_count();
+        if n < 2 || max_sources == 0 {
+            return 1.0;
+        }
+        let stride = n.div_ceil(max_sources.min(n));
+        let mut worst = 1.0f64;
+        for a in (0..n).step_by(stride) {
+            let row = self.exact.distance_row(a);
+            for b in 0..n {
+                let exact = row[b];
+                if exact == 0 || exact == usize::MAX {
+                    continue;
+                }
+                let (_, upper) = self.index.bounds(a, b);
+                worst = worst.max(upper as f64 / exact as f64);
+            }
+        }
+        worst
+    }
+}
+
+impl Clone for LandmarkOracle {
+    /// Clones the graph structure and landmark rows with a cold row cache
+    /// and zeroed counters.
+    fn clone(&self) -> Self {
+        LandmarkOracle {
+            exact: self.exact.clone(),
+            index: self.index.clone_cold(),
+            exact_fallbacks: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PartialEq for LandmarkOracle {
+    /// Structural equality: same exact tier and same landmark set. Counters
+    /// and cache state are usage artifacts.
+    fn eq(&self, other: &Self) -> bool {
+        self.exact == other.exact && self.index.landmarks == other.index.landmarks
+    }
+}
+
+impl Eq for LandmarkOracle {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrix;
+    use crate::generators;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_count_scales_with_sqrt_n() {
+        assert_eq!(default_landmark_count(1), 1);
+        assert_eq!(default_landmark_count(4), 4);
+        assert_eq!(default_landmark_count(127), 12);
+        assert_eq!(default_landmark_count(433), 21);
+        assert_eq!(default_landmark_count(10_000), 32);
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_degree_seeded() {
+        let g = generators::grid_graph(4, 5);
+        let a = LandmarkIndex::with_landmarks(&g, 5);
+        let b = LandmarkIndex::with_landmarks(&g, 5);
+        let first: Vec<NodeId> = a.landmarks().collect();
+        assert_eq!(first, b.landmarks().collect::<Vec<_>>());
+        assert_eq!(a.landmark_count(), 5);
+        // The seed landmark is a maximum-degree (interior) node.
+        assert_eq!(g.degree(first[0]), 4);
+        // Landmarks are distinct.
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_distances_on_grid() {
+        let g = generators::grid_graph(5, 6);
+        let dense = DistanceMatrix::new(&g);
+        let index = LandmarkIndex::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                let (lo, hi) = index.bounds(a, b);
+                let exact = dense.get(a, b);
+                assert!(
+                    lo <= exact && exact <= hi,
+                    "({a},{b}): {lo}..{hi} vs {exact}"
+                );
+            }
+        }
+        assert!(index.queries() > 0);
+    }
+
+    #[test]
+    fn bounds_are_tight_for_landmarks_and_identity() {
+        let g = generators::cycle_graph(12);
+        let index = LandmarkIndex::with_landmarks(&g, 3);
+        let dense = DistanceMatrix::new(&g);
+        assert_eq!(index.bounds(7, 7), (0, 0));
+        for l in index.landmarks().collect::<Vec<_>>() {
+            for b in g.nodes() {
+                let exact = dense.get(l, b);
+                assert_eq!(index.bounds(l, b), (exact, exact));
+                assert_eq!(index.bounds(b, l), (exact, exact));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_proved_disconnected() {
+        let mut g = generators::path_graph(4);
+        let isolated = g.add_node();
+        let index = LandmarkIndex::with_landmarks(&g, 3);
+        // Some landmark lands in the 4-path component, so the isolated node
+        // is proved unreachable from it.
+        assert_eq!(index.bounds(0, isolated), (usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn oracle_point_queries_stay_exact_and_counters_split_tiers() {
+        let g = generators::grid_graph(6, 6);
+        let dense = DistanceMatrix::new(&g);
+        let oracle = LandmarkOracle::new(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(oracle.distance(a, b), dense.get(a, b));
+            }
+        }
+        assert_eq!(oracle.diameter(), dense.diameter());
+        assert!(oracle.is_connected());
+        let before = oracle.stats();
+        assert_eq!(before.landmark_queries, 0);
+        let _ = oracle.bounds(0, 35);
+        oracle.record_exact_fallbacks(3);
+        let stats = oracle.stats();
+        assert_eq!(stats.landmark_queries, 1);
+        assert_eq!(stats.exact_fallbacks, 3);
+        assert_eq!(stats.since(&before).landmark_queries, 1);
+    }
+
+    #[test]
+    fn measured_stretch_is_at_least_one_and_one_when_all_nodes_are_landmarks() {
+        let g = generators::grid_graph(3, 3);
+        let full = LandmarkOracle::with_config(&g, 4, 9);
+        assert_eq!(full.measured_stretch(9), 1.0);
+        let sparse = LandmarkOracle::with_config(&g, 4, 2);
+        assert!(sparse.measured_stretch(4) >= 1.0);
+    }
+
+    #[test]
+    fn clone_is_cold_and_equal() {
+        let g = generators::grid_graph(4, 4);
+        let oracle = LandmarkOracle::new(&g);
+        let _ = oracle.distance(0, 15);
+        let _ = oracle.bounds(0, 15);
+        oracle.record_exact_fallbacks(1);
+        let clone = oracle.clone();
+        assert_eq!(clone.stats(), OracleStats::default());
+        assert_eq!(clone, oracle);
+        assert_eq!(clone.distance(0, 15), oracle.distance(0, 15));
+        assert_eq!(clone.bounds(3, 9), oracle.bounds(3, 9));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let empty = LandmarkIndex::new(&Graph::new());
+        assert_eq!(empty.landmark_count(), 0);
+        assert_eq!(empty.node_count(), 0);
+        let single = LandmarkOracle::new(&Graph::with_nodes(1));
+        assert_eq!(single.bounds(0, 0), (0, 0));
+        assert_eq!(single.distance(0, 0), 0);
+        assert_eq!(single.index().landmark_count(), 1);
+    }
+
+    /// A random connected graph: a random spanning tree plus extra edges
+    /// (mirrors the construction in `oracle.rs`).
+    fn random_connected_graph(n: usize, parents: &[usize], extras: &[(usize, usize)]) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for (node, &p) in parents.iter().enumerate().take(n - 1) {
+            let node = node + 1;
+            g.add_edge(node, p % node);
+        }
+        for &(a, b) in extras {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// The satellite contract: on every random connected graph, every
+        /// pair's landmark bracket contains the exact BFS distance, for any
+        /// landmark count.
+        #[test]
+        fn landmark_bounds_bracket_exact_bfs_distance(
+            n in 2usize..40,
+            parents in proptest::collection::vec(0usize..1000, 39..40),
+            extras in proptest::collection::vec((0usize..1000, 0usize..1000), 0..25),
+            landmarks in 1usize..8,
+        ) {
+            let g = random_connected_graph(n, &parents, &extras);
+            prop_assert!(g.is_connected());
+            let dense = DistanceMatrix::new(&g);
+            let index = LandmarkIndex::with_landmarks(&g, landmarks);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    let (lo, hi) = index.bounds(a, b);
+                    let exact = dense.get(a, b);
+                    prop_assert!(lo <= exact, "({a},{b}): lower {lo} > exact {exact}");
+                    prop_assert!(exact <= hi, "({a},{b}): upper {hi} < exact {exact}");
+                }
+            }
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //! * [`csr`] — frozen compressed-sparse-row adjacency for cache-friendly BFS
 //!   on routing-scale devices.
 //! * [`oracle`] — the [`DistanceOracle`] abstraction: dense matrix or
-//!   on-demand BFS with a bounded row cache, one exact-distance query API.
+//!   on-demand BFS with a bounded, pinnable row cache, one exact-distance
+//!   query API.
+//! * [`landmark`] — Thorup–Zwick-style landmark index answering O(L)
+//!   triangle-inequality distance bounds for candidate-scan pruning, layered
+//!   over the exact oracle as the routing-scale default.
 //! * [`isomorphism`] — VF2-style subgraph monomorphism, used both to check
 //!   that QUBIKOS interaction graphs cannot be embedded into the coupling
 //!   graph and to implement QUEKO-style initial placement.
@@ -39,6 +43,7 @@ pub mod distance;
 pub mod generators;
 pub mod graph;
 pub mod isomorphism;
+pub mod landmark;
 pub mod oracle;
 pub mod traversal;
 
@@ -46,8 +51,9 @@ pub use csr::CsrGraph;
 pub use distance::DistanceMatrix;
 pub use graph::{Edge, Graph, NodeId};
 pub use isomorphism::{find_subgraph_embedding, is_subgraph_isomorphic, Vf2Matcher};
+pub use landmark::{default_landmark_count, LandmarkIndex, LandmarkOracle};
 pub use oracle::{
-    BfsOracle, DistanceOracle, DistanceRow, OracleKind, OracleStats, DENSE_ORACLE_MAX_NODES,
-    SPARSE_ROW_CACHE_CAPACITY,
+    default_row_capacity, BfsOracle, DistanceOracle, DistanceRow, OracleKind, OracleStats,
+    DENSE_ORACLE_MAX_NODES, SPARSE_ROW_CACHE_CAPACITY,
 };
 pub use traversal::{bfs_distances, bfs_edge_order, bfs_order, connected_components};

@@ -11,16 +11,28 @@
 //! common router access pattern — every candidate SWAP is scored against the
 //! same handful of front-gate qubits) cost one array read.
 //!
-//! Both implementations answer **exact** BFS hop distances — the sparse
-//! oracle is lazy, not approximate — so selecting one or the other can never
-//! change a routing decision. [`DistanceOracle`] is the closed enum over the
-//! two, chosen automatically by node count (see
+//! On top of the exact tiers sits the [`LandmarkOracle`]
+//! (see [`crate::landmark`]): an exact `BfsOracle` paired with a small set of
+//! landmark BFS rows answering O(L) triangle-inequality *bounds* for the
+//! candidate-scan workload, with every point query still answered exactly.
+//!
+//! All point-distance answers are **exact** BFS hop distances — the sparse
+//! and landmark oracles are lazy, not approximate — so selecting any tier
+//! can never change a routing decision. [`DistanceOracle`] is the closed
+//! enum over the three, chosen automatically by node count (see
 //! [`OracleKind::auto_for`]) with an explicit override for tests and
 //! benchmarks.
+//!
+//! The row cache additionally supports **pinning**: the routing kernel
+//! marks the physical qubits of the current front gates as pinned (via
+//! [`BfsOracle::pin_rows`]), and eviction then only considers unpinned
+//! rows, so the handful of rows every candidate scan touches survive
+//! scattered queries that would otherwise cycle them out.
 
 use crate::csr::CsrGraph;
 use crate::distance::DistanceMatrix;
 use crate::graph::{Graph, NodeId};
+use crate::landmark::LandmarkOracle;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::ops::Deref;
@@ -33,11 +45,22 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Osprey-433 route without ever materializing n² distances.
 pub const DENSE_ORACLE_MAX_NODES: usize = 64;
 
-/// Number of distance rows the sparse oracle caches. Peak oracle memory is
-/// `SPARSE_ROW_CACHE_CAPACITY × n` words — linear in the device size, never
-/// quadratic — while still covering every qubit a routing front plausibly
-/// touches between evictions.
+/// Floor on the number of distance rows the cached oracles keep resident.
+/// The default capacity is [`default_row_capacity`] — `max(64, n/3)` — so
+/// peak oracle memory stays well below the n² dense matrix while the cache
+/// covers every qubit a routing front plausibly touches between evictions,
+/// even on devices whose fronts span hundreds of qubits.
 pub const SPARSE_ROW_CACHE_CAPACITY: usize = 64;
+
+/// Default row-cache capacity for a device of `nodes` qubits: the
+/// [`SPARSE_ROW_CACHE_CAPACITY`] floor, growing as `n/3` on large devices.
+/// Routing fronts on device-width workloads touch O(n) distinct distance
+/// sources per candidate scan; a capacity that scales with the device keeps
+/// the per-decision working set resident (so front pinning has slots to
+/// protect) while still staying a small fraction of the dense n² matrix.
+pub fn default_row_capacity(nodes: usize) -> usize {
+    (nodes / 3).max(SPARSE_ROW_CACHE_CAPACITY)
+}
 
 /// Which distance-oracle implementation an architecture uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -47,24 +70,33 @@ pub enum OracleKind {
     /// On-demand [`BfsOracle`] (O(cache × n) memory, amortized O(1) queries
     /// against cached rows, one BFS per cache miss).
     Sparse,
+    /// [`LandmarkOracle`]: the sparse oracle plus an O(L × n) landmark
+    /// index answering approximate distance *bounds* in O(L), used by the
+    /// routing kernel to prune candidate scans while point queries stay
+    /// exact.
+    Landmark,
 }
 
 impl OracleKind {
     /// The automatic selection rule: dense up to
-    /// [`DENSE_ORACLE_MAX_NODES`] nodes, sparse above.
+    /// [`DENSE_ORACLE_MAX_NODES`] nodes, landmark-backed above (routing-
+    /// scale devices want both the bounded row cache and the bound-query
+    /// tier; plain `Sparse` remains an explicit choice for tests and
+    /// benchmarks).
     pub fn auto_for(nodes: usize) -> OracleKind {
         if nodes <= DENSE_ORACLE_MAX_NODES {
             OracleKind::Dense
         } else {
-            OracleKind::Sparse
+            OracleKind::Landmark
         }
     }
 
-    /// Stable lower-case name (`"dense"` / `"sparse"`).
+    /// Stable lower-case name (`"dense"` / `"sparse"` / `"landmark"`).
     pub fn name(self) -> &'static str {
         match self {
             OracleKind::Dense => "dense",
             OracleKind::Sparse => "sparse",
+            OracleKind::Landmark => "landmark",
         }
     }
 }
@@ -84,6 +116,16 @@ pub struct OracleStats {
     /// Queries answered from a cached row (always 0 for the dense matrix,
     /// which has no cache to hit).
     pub cache_hits: u64,
+    /// The subset of `cache_hits` answered from a *pinned* row — the
+    /// front-locality hits the kernel→oracle hint channel exists to create.
+    pub pinned_hits: u64,
+    /// Approximate bound queries answered by the landmark index (0 unless
+    /// the oracle is landmark-backed).
+    pub landmark_queries: u64,
+    /// Candidates that survived landmark bound pruning and fell back to
+    /// exact scoring (recorded by the routing kernel; 0 unless
+    /// landmark-backed).
+    pub exact_fallbacks: u64,
 }
 
 impl OracleStats {
@@ -95,6 +137,9 @@ impl OracleStats {
             queries: self.queries - earlier.queries,
             rows_computed: self.rows_computed - earlier.rows_computed,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            pinned_hits: self.pinned_hits - earlier.pinned_hits,
+            landmark_queries: self.landmark_queries - earlier.landmark_queries,
+            exact_fallbacks: self.exact_fallbacks - earlier.exact_fallbacks,
         }
     }
 }
@@ -115,6 +160,11 @@ struct RowCache {
     slot_of: Vec<u32>,
     slots: Vec<Slot>,
     clock: u64,
+    /// `pinned[node]` = the node is in the current pin set (whether or not
+    /// its row is resident — pinning protects rows, it does not prefetch).
+    pinned: Vec<bool>,
+    /// The nodes currently pinned, so replacing the pin set is O(|pins|).
+    pin_list: Vec<u32>,
     dist_scratch: Vec<usize>,
     queue_scratch: VecDeque<u32>,
 }
@@ -127,13 +177,31 @@ impl RowCache {
             slot_of: vec![NO_SLOT; nodes],
             slots: Vec::new(),
             clock: 0,
+            pinned: vec![false; nodes],
+            pin_list: Vec::new(),
             dist_scratch: vec![0; nodes],
             queue_scratch: VecDeque::new(),
         }
     }
 
-    /// The cached row for `node`, refreshing its LRU stamp.
-    fn get(&mut self, node: NodeId) -> Option<Arc<[usize]>> {
+    /// Replaces the pin set. Previously pinned rows become ordinary LRU
+    /// citizens; rows for `nodes` (once computed) survive eviction.
+    fn set_pins(&mut self, nodes: &[NodeId]) {
+        for &node in &self.pin_list {
+            self.pinned[node as usize] = false;
+        }
+        self.pin_list.clear();
+        for &node in nodes {
+            if !self.pinned[node] {
+                self.pinned[node] = true;
+                self.pin_list.push(node as u32);
+            }
+        }
+    }
+
+    /// The cached row for `node` (with its pin flag), refreshing its LRU
+    /// stamp.
+    fn get(&mut self, node: NodeId) -> Option<(Arc<[usize]>, bool)> {
         let slot = self.slot_of[node];
         if slot == NO_SLOT {
             return None;
@@ -141,11 +209,13 @@ impl RowCache {
         self.clock += 1;
         let slot = &mut self.slots[slot as usize];
         slot.last_used = self.clock;
-        Some(Arc::clone(&slot.row))
+        Some((Arc::clone(&slot.row), self.pinned[node]))
     }
 
     /// Computes the BFS row for `node` and caches it, evicting the least
-    /// recently used row once `capacity` slots are full.
+    /// recently used *unpinned* row once `capacity` slots are full (the
+    /// plain LRU victim if every resident row is pinned — the cache must
+    /// stay bounded even under an oversized pin set).
     fn compute_and_insert(
         &mut self,
         csr: &CsrGraph,
@@ -163,11 +233,19 @@ impl RowCache {
             });
             self.slots.len() - 1
         } else {
-            let (victim, _) = self
+            let victim = self
                 .slots
                 .iter()
                 .enumerate()
+                .filter(|(_, s)| !self.pinned[s.node as usize])
                 .min_by_key(|(_, s)| s.last_used)
+                .or_else(|| {
+                    self.slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.last_used)
+                })
+                .map(|(i, _)| i)
                 .expect("capacity is at least one slot");
             self.slot_of[self.slots[victim].node as usize] = NO_SLOT;
             self.slots[victim] = Slot {
@@ -202,15 +280,17 @@ pub struct BfsOracle {
     queries: AtomicU64,
     rows_computed: AtomicU64,
     cache_hits: AtomicU64,
+    pinned_hits: AtomicU64,
     /// `(diameter, connected)` of the graph, computed once on first use by a
     /// full BFS sweep that bypasses the row cache.
     extent: OnceLock<(Option<usize>, bool)>,
 }
 
 impl BfsOracle {
-    /// An oracle over `graph` with the default row-cache capacity.
+    /// An oracle over `graph` with the default row-cache capacity
+    /// ([`default_row_capacity`] of the node count).
     pub fn new(graph: &Graph) -> Self {
-        Self::with_row_capacity(graph, SPARSE_ROW_CACHE_CAPACITY)
+        Self::with_row_capacity(graph, default_row_capacity(graph.node_count()))
     }
 
     /// An oracle over `graph` caching at most `capacity` rows.
@@ -229,6 +309,7 @@ impl BfsOracle {
             queries: AtomicU64::new(0),
             rows_computed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            pinned_hits: AtomicU64::new(0),
             extent: OnceLock::new(),
         }
     }
@@ -247,6 +328,28 @@ impl BfsOracle {
     /// structural guarantee behind the O(capacity × n) memory bound).
     pub fn cached_rows(&self) -> usize {
         self.lock_cache().slots.len()
+    }
+
+    /// Replaces the set of pinned rows with `nodes` — the kernel→oracle
+    /// hint channel. Pinned rows are skipped by LRU eviction (unless every
+    /// resident row is pinned), so the distance sources a routing front
+    /// queries on every candidate scan stay resident across scattered
+    /// intervening queries. Pinning does not prefetch: a pinned node's row
+    /// is still computed lazily on first query.
+    ///
+    /// Pinning is purely a replacement-policy hint; it never changes any
+    /// distance answer. Out-of-range nodes are debug-asserted.
+    pub fn pin_rows(&self, nodes: &[NodeId]) {
+        debug_assert!(
+            nodes.iter().all(|&n| n < self.node_count()),
+            "pinned node out of range"
+        );
+        self.lock_cache().set_pins(nodes);
+    }
+
+    /// Number of nodes currently in the pin set (resident or not).
+    pub fn pinned_nodes(&self) -> usize {
+        self.lock_cache().pin_list.len()
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, RowCache> {
@@ -272,16 +375,23 @@ impl BfsOracle {
         let mut cache = self.lock_cache();
         // Distances are symmetric: either endpoint's row answers the query,
         // which roughly halves the misses for scattered access patterns.
-        if let Some(row) = cache.get(a) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some((row, pinned)) = cache.get(a) {
+            self.record_hit(pinned);
             return row[b];
         }
-        if let Some(row) = cache.get(b) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some((row, pinned)) = cache.get(b) {
+            self.record_hit(pinned);
             return row[a];
         }
         self.rows_computed.fetch_add(1, Ordering::Relaxed);
         cache.compute_and_insert(&self.csr, a, self.capacity)[b]
+    }
+
+    fn record_hit(&self, pinned: bool) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if pinned {
+            self.pinned_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Checked [`Self::distance`]: `None` when either node is out of range.
@@ -300,12 +410,31 @@ impl BfsOracle {
         assert!(a < self.node_count(), "node out of range");
         self.queries.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.lock_cache();
-        if let Some(row) = cache.get(a) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some((row, pinned)) = cache.get(a) {
+            self.record_hit(pinned);
             return row;
         }
         self.rows_computed.fetch_add(1, Ordering::Relaxed);
         cache.compute_and_insert(&self.csr, a, self.capacity)
+    }
+
+    /// The distance row from `a` if it is already resident in the cache —
+    /// a peek that never triggers a BFS. The routing kernel uses this to
+    /// upgrade landmark bound queries to exact (free) answers whenever the
+    /// front-pinned working set has kept the row warm, while cold rows keep
+    /// costing only an O(landmarks) bound instead of a full BFS.
+    ///
+    /// A hit refreshes the row's LRU stamp and counts toward `cache_hits`
+    /// (and `pinned_hits` when pinned); a miss records nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn cached_row(&self, a: NodeId) -> Option<Arc<[usize]>> {
+        assert!(a < self.node_count(), "node out of range");
+        let (row, pinned) = self.lock_cache().get(a)?;
+        self.record_hit(pinned);
+        Some(row)
     }
 
     /// Usage counters since construction (or since the last clone).
@@ -314,6 +443,8 @@ impl BfsOracle {
             queries: self.queries.load(Ordering::Relaxed),
             rows_computed: self.rows_computed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            pinned_hits: self.pinned_hits.load(Ordering::Relaxed),
+            ..OracleStats::default()
         }
     }
 
@@ -368,6 +499,7 @@ impl Clone for BfsOracle {
             queries: AtomicU64::new(0),
             rows_computed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            pinned_hits: AtomicU64::new(0),
             extent: self.extent.clone(),
         }
     }
@@ -406,14 +538,17 @@ impl Deref for DistanceRow<'_> {
     }
 }
 
-/// The distance oracle of an architecture: dense matrix or sparse on-demand
-/// BFS, one query API (see the module docs).
+/// The distance oracle of an architecture: dense matrix, sparse on-demand
+/// BFS, or landmark-backed sparse BFS — one query API (see the module
+/// docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DistanceOracle {
     /// Eager all-pairs matrix.
     Dense(DistanceMatrix),
     /// Lazy cached-row oracle.
     Sparse(BfsOracle),
+    /// Lazy cached-row oracle plus a landmark bound index.
+    Landmark(LandmarkOracle),
 }
 
 impl DistanceOracle {
@@ -425,9 +560,32 @@ impl DistanceOracle {
 
     /// Builds the requested oracle kind, overriding the automatic rule.
     pub fn build(graph: &Graph, kind: OracleKind) -> Self {
+        Self::build_with_capacity(graph, kind, None)
+    }
+
+    /// Builds the requested oracle kind with an explicit row-cache
+    /// capacity (`None` = [`default_row_capacity`] of the node count). The
+    /// dense matrix has no cache; its capacity is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_capacity` is `Some(0)` for a cached kind.
+    pub fn build_with_capacity(
+        graph: &Graph,
+        kind: OracleKind,
+        row_capacity: Option<usize>,
+    ) -> Self {
+        let capacity = row_capacity.unwrap_or_else(|| default_row_capacity(graph.node_count()));
         match kind {
             OracleKind::Dense => DistanceOracle::Dense(DistanceMatrix::new(graph)),
-            OracleKind::Sparse => DistanceOracle::Sparse(BfsOracle::new(graph)),
+            OracleKind::Sparse => {
+                DistanceOracle::Sparse(BfsOracle::with_row_capacity(graph, capacity))
+            }
+            OracleKind::Landmark => DistanceOracle::Landmark(LandmarkOracle::with_config(
+                graph,
+                capacity,
+                crate::landmark::default_landmark_count(graph.node_count()),
+            )),
         }
     }
 
@@ -436,6 +594,34 @@ impl DistanceOracle {
         match self {
             DistanceOracle::Dense(_) => OracleKind::Dense,
             DistanceOracle::Sparse(_) => OracleKind::Sparse,
+            DistanceOracle::Landmark(_) => OracleKind::Landmark,
+        }
+    }
+
+    /// The landmark tier, when this oracle has one. The routing kernel uses
+    /// this to decide whether bound-based candidate pruning is available.
+    pub fn landmark(&self) -> Option<&LandmarkOracle> {
+        match self {
+            DistanceOracle::Landmark(oracle) => Some(oracle),
+            _ => None,
+        }
+    }
+
+    /// The bounded row-cache tier behind this oracle, if it has one (the
+    /// sparse oracle itself, or the landmark oracle's exact tier).
+    pub fn row_tier(&self) -> Option<&BfsOracle> {
+        match self {
+            DistanceOracle::Dense(_) => None,
+            DistanceOracle::Sparse(oracle) => Some(oracle),
+            DistanceOracle::Landmark(oracle) => Some(oracle.exact()),
+        }
+    }
+
+    /// Forwards a pin set to the row cache (see [`BfsOracle::pin_rows`]);
+    /// a no-op for the dense matrix, which keeps every row resident.
+    pub fn pin_rows(&self, nodes: &[NodeId]) {
+        if let Some(tier) = self.row_tier() {
+            tier.pin_rows(nodes);
         }
     }
 
@@ -444,6 +630,7 @@ impl DistanceOracle {
         match self {
             DistanceOracle::Dense(matrix) => matrix.node_count(),
             DistanceOracle::Sparse(oracle) => oracle.node_count(),
+            DistanceOracle::Landmark(oracle) => oracle.node_count(),
         }
     }
 
@@ -459,6 +646,7 @@ impl DistanceOracle {
         match self {
             DistanceOracle::Dense(matrix) => matrix.get(a, b),
             DistanceOracle::Sparse(oracle) => oracle.distance(a, b),
+            DistanceOracle::Landmark(oracle) => oracle.distance(a, b),
         }
     }
 
@@ -467,6 +655,7 @@ impl DistanceOracle {
         match self {
             DistanceOracle::Dense(matrix) => matrix.try_get(a, b),
             DistanceOracle::Sparse(oracle) => oracle.try_distance(a, b),
+            DistanceOracle::Landmark(oracle) => oracle.try_distance(a, b),
         }
     }
 
@@ -479,6 +668,7 @@ impl DistanceOracle {
         match self {
             DistanceOracle::Dense(matrix) => DistanceRow::Borrowed(matrix.row(a)),
             DistanceOracle::Sparse(oracle) => DistanceRow::Shared(oracle.distance_row(a)),
+            DistanceOracle::Landmark(oracle) => DistanceRow::Shared(oracle.distance_row(a)),
         }
     }
 
@@ -487,6 +677,7 @@ impl DistanceOracle {
         match self {
             DistanceOracle::Dense(matrix) => matrix.diameter(),
             DistanceOracle::Sparse(oracle) => oracle.diameter(),
+            DistanceOracle::Landmark(oracle) => oracle.diameter(),
         }
     }
 
@@ -495,6 +686,7 @@ impl DistanceOracle {
         match self {
             DistanceOracle::Dense(matrix) => matrix.is_connected(),
             DistanceOracle::Sparse(oracle) => oracle.is_connected(),
+            DistanceOracle::Landmark(oracle) => oracle.is_connected(),
         }
     }
 
@@ -503,11 +695,11 @@ impl DistanceOracle {
     pub fn stats(&self) -> OracleStats {
         match self {
             DistanceOracle::Dense(matrix) => OracleStats {
-                queries: 0,
                 rows_computed: matrix.node_count() as u64,
-                cache_hits: 0,
+                ..OracleStats::default()
             },
             DistanceOracle::Sparse(oracle) => oracle.stats(),
+            DistanceOracle::Landmark(oracle) => oracle.stats(),
         }
     }
 }
@@ -527,15 +719,16 @@ mod tests {
         );
         assert_eq!(
             OracleKind::auto_for(DENSE_ORACLE_MAX_NODES + 1),
-            OracleKind::Sparse
+            OracleKind::Landmark
         );
         assert_eq!(OracleKind::Dense.name(), "dense");
         assert_eq!(OracleKind::Sparse.name(), "sparse");
+        assert_eq!(OracleKind::Landmark.name(), "landmark");
 
         let small = generators::grid_graph(3, 3);
         assert_eq!(DistanceOracle::auto(&small).kind(), OracleKind::Dense);
         let large = generators::grid_graph(9, 10);
-        assert_eq!(DistanceOracle::auto(&large).kind(), OracleKind::Sparse);
+        assert_eq!(DistanceOracle::auto(&large).kind(), OracleKind::Landmark);
     }
 
     #[test]
@@ -589,8 +782,101 @@ mod tests {
                 queries: 2,
                 rows_computed: 0,
                 cache_hits: 2,
+                ..OracleStats::default()
             }
         );
+    }
+
+    /// Satellite contract: a 1-slot cache and an over-provisioned cache are
+    /// both still exact — capacity is a performance knob, never a
+    /// correctness input.
+    #[test]
+    fn extreme_capacities_stay_exact() {
+        let g = generators::grid_graph(4, 5);
+        let dense = DistanceMatrix::new(&g);
+        let n = g.node_count();
+        for capacity in [1, n, n * 2] {
+            let sparse = BfsOracle::with_row_capacity(&g, capacity);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    assert_eq!(sparse.distance(a, b), dense.get(a, b), "cap {capacity}");
+                }
+            }
+            assert!(sparse.cached_rows() <= capacity);
+        }
+        let generous = BfsOracle::with_row_capacity(&g, n);
+        for a in g.nodes() {
+            let _ = generous.distance_row(a);
+        }
+        // With capacity >= n nothing is ever evicted.
+        assert_eq!(generous.cached_rows(), n);
+        assert_eq!(generous.stats().rows_computed, n as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_is_rejected() {
+        let _ = BfsOracle::with_row_capacity(&generators::path_graph(3), 0);
+    }
+
+    /// Satellite contract: pinned rows survive eviction; unpinned rows
+    /// still evict in LRU stamp order.
+    #[test]
+    fn pinned_rows_survive_and_unpinned_evict_in_stamp_order() {
+        let g = generators::path_graph(8);
+        let oracle = BfsOracle::with_row_capacity(&g, 3);
+        oracle.pin_rows(&[0]);
+        let _ = oracle.distance_row(0); // cache: {0*} (pinned)
+        let _ = oracle.distance_row(1); // cache: {0*, 1}
+        let _ = oracle.distance_row(2); // cache: {0*, 1, 2}
+        let _ = oracle.distance(1, 7); // refresh 1: stamp order now 2 < 1
+        let before = oracle.stats().rows_computed;
+        let _ = oracle.distance_row(3); // full: evicts 2 (stalest unpinned), NOT pinned 0
+        let _ = oracle.distance(0, 5); // pinned row still resident
+        let _ = oracle.distance(1, 5); // refreshed row still resident
+        assert_eq!(oracle.stats().rows_computed, before + 1);
+        let _ = oracle.distance_row(2); // 2 was the eviction victim: recompute
+        assert_eq!(oracle.stats().rows_computed, before + 2);
+    }
+
+    #[test]
+    fn all_pinned_cache_falls_back_to_plain_lru() {
+        let g = generators::path_graph(6);
+        let oracle = BfsOracle::with_row_capacity(&g, 2);
+        oracle.pin_rows(&[0, 1]);
+        let _ = oracle.distance_row(0);
+        let _ = oracle.distance_row(1);
+        // Every slot is pinned; inserting a third row must still succeed
+        // (bounded memory beats the pin hint) by evicting the stalest row.
+        let _ = oracle.distance_row(2);
+        assert_eq!(oracle.cached_rows(), 2);
+        let before = oracle.stats().rows_computed;
+        let _ = oracle.distance(1, 3); // row 1 survived (row 0 was stalest)
+        assert_eq!(oracle.stats().rows_computed, before);
+    }
+
+    #[test]
+    fn pinned_hits_are_counted_and_pin_set_is_replaceable() {
+        let g = generators::path_graph(8);
+        let oracle = BfsOracle::new(&g);
+        oracle.pin_rows(&[3, 3, 4]); // duplicates collapse
+        assert_eq!(oracle.pinned_nodes(), 2);
+        let _ = oracle.distance(3, 0); // miss (pinning does not prefetch)
+        let _ = oracle.distance(3, 1); // pinned hit
+        let _ = oracle.distance(5, 3); // symmetric pinned hit via row 3
+        let stats = oracle.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.pinned_hits, 2);
+        // Replacing the pin set unpins 3 and 4; hits on row 3 are now plain.
+        oracle.pin_rows(&[5]);
+        assert_eq!(oracle.pinned_nodes(), 1);
+        let _ = oracle.distance(3, 2);
+        let stats = oracle.stats();
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(stats.pinned_hits, 2);
+        // Clearing pins entirely.
+        oracle.pin_rows(&[]);
+        assert_eq!(oracle.pinned_nodes(), 0);
     }
 
     #[test]
@@ -628,6 +914,7 @@ mod tests {
         for oracle in [
             DistanceOracle::build(&g, OracleKind::Dense),
             DistanceOracle::build(&g, OracleKind::Sparse),
+            DistanceOracle::build(&g, OracleKind::Landmark),
         ] {
             assert_eq!(oracle.try_distance(0, 3), Some(3));
             assert_eq!(oracle.try_distance(0, 4), None);
@@ -652,11 +939,51 @@ mod tests {
         let g = generators::cycle_graph(9);
         let dense = DistanceOracle::build(&g, OracleKind::Dense);
         let sparse = DistanceOracle::build(&g, OracleKind::Sparse);
+        let landmark = DistanceOracle::build(&g, OracleKind::Landmark);
         for a in g.nodes() {
             assert_eq!(&dense.distance_row(a)[..], &sparse.distance_row(a)[..]);
+            assert_eq!(&dense.distance_row(a)[..], &landmark.distance_row(a)[..]);
         }
         assert_eq!(dense.diameter(), sparse.diameter());
+        assert_eq!(dense.diameter(), landmark.diameter());
         assert_eq!(dense.node_count(), sparse.node_count());
+        assert!(landmark.landmark().is_some());
+        assert!(landmark.row_tier().is_some());
+        assert!(dense.landmark().is_none());
+        assert!(dense.row_tier().is_none());
+        dense.pin_rows(&[0]); // no-op, must not panic
+    }
+
+    #[test]
+    fn build_with_capacity_threads_through_both_cached_kinds() {
+        let g = generators::grid_graph(3, 4);
+        for kind in [OracleKind::Sparse, OracleKind::Landmark] {
+            let oracle = DistanceOracle::build_with_capacity(&g, kind, Some(5));
+            assert_eq!(
+                oracle.row_tier().expect("cached kind").row_cache_capacity(),
+                5
+            );
+            let default = DistanceOracle::build_with_capacity(&g, kind, None);
+            assert_eq!(
+                default
+                    .row_tier()
+                    .expect("cached kind")
+                    .row_cache_capacity(),
+                default_row_capacity(g.node_count())
+            );
+        }
+    }
+
+    #[test]
+    fn default_capacity_floors_small_devices_and_scales_large_ones() {
+        // Small and mid-size devices keep the 64-row floor; device-width
+        // fronts on large lattices get n/3 slots so pinning has room to
+        // protect the per-decision working set.
+        assert_eq!(default_row_capacity(0), SPARSE_ROW_CACHE_CAPACITY);
+        assert_eq!(default_row_capacity(127), SPARSE_ROW_CACHE_CAPACITY);
+        assert_eq!(default_row_capacity(192), SPARSE_ROW_CACHE_CAPACITY);
+        assert_eq!(default_row_capacity(433), 144);
+        assert!(default_row_capacity(433) < 433);
     }
 
     #[test]

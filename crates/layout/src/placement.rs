@@ -60,28 +60,58 @@ pub fn greedy_bfs_placement(circuit: &Circuit, arch: &Architecture) -> Mapping {
 
     let mut assigned: Vec<Option<NodeId>> = vec![None; circuit.num_qubits()];
     let mut used = vec![false; n_phys];
+    let mut totals = vec![0usize; n_phys];
+    // Tie-break key: prefer well-connected physical qubits, then low index.
+    let tie: Vec<usize> = (0..n_phys).map(|p| n_phys - arch.degree(p)).collect();
+    // Free physical qubits in selection order for the no-placed-neighbour
+    // case (seed qubits and interaction-isolated qubits): with every total
+    // zero the argmin reduces to this precomputed connectivity order, so the
+    // scan becomes popping the next unused entry. QUEKO circuits are
+    // device-width but sparse, so this covers a large fraction of qubits.
+    let mut by_degree: Vec<NodeId> = (0..n_phys).collect();
+    by_degree.sort_by_key(|&p| (tie[p], p));
+    let mut next_free = 0usize;
 
     for &q in &order {
         // One distance row per placed interaction neighbour covers the whole
-        // candidate scan (instead of candidates × neighbours point queries).
-        let neighbor_rows: Vec<_> = interaction
+        // candidate scan (instead of candidates × neighbours point queries),
+        // accumulated row-major into `totals` so the scan over candidates is
+        // a single cache-friendly pass. Selects exactly the qubit a
+        // per-candidate `min_by_key` over `(total, tie)` would: same sums,
+        // same first-minimum in index order.
+        let mut rows = interaction
             .neighbors(q)
             .iter()
             .filter_map(|&nb| assigned[nb])
-            .map(|np| arch.distance_row(np))
-            .collect();
-        let best = (0..n_phys)
-            .filter(|&p| !used[p])
-            .min_by_key(|&p| {
-                if neighbor_rows.is_empty() {
-                    // Prefer well-connected physical qubits for hub program qubits.
-                    (0usize, n_phys - arch.degree(p))
-                } else {
-                    let total: usize = neighbor_rows.iter().map(|row| row[p]).sum();
-                    (total, n_phys - arch.degree(p))
+            .map(|np| arch.distance_row(np));
+        let best = match rows.next() {
+            None => {
+                while used[by_degree[next_free]] {
+                    next_free += 1;
                 }
-            })
-            .expect("device has enough free qubits");
+                by_degree[next_free]
+            }
+            Some(first) => {
+                totals[..n_phys].copy_from_slice(&first[..n_phys]);
+                drop(first);
+                for row in rows {
+                    let row = &row[..n_phys];
+                    for p in 0..n_phys {
+                        totals[p] += row[p];
+                    }
+                }
+                let mut best = usize::MAX;
+                let mut best_key = (usize::MAX, usize::MAX);
+                for p in 0..n_phys {
+                    if !used[p] && (totals[p], tie[p]) < best_key {
+                        best_key = (totals[p], tie[p]);
+                        best = p;
+                    }
+                }
+                assert_ne!(best, usize::MAX, "device has enough free qubits");
+                best
+            }
+        };
         assigned[q] = Some(best);
         used[best] = true;
     }
@@ -99,16 +129,23 @@ fn placement_order(interaction: &Graph) -> Vec<NodeId> {
     let mut components = qubikos_graph::connected_components(interaction);
     components.sort_by_key(|c| std::cmp::Reverse(c.len()));
     let mut order = Vec::with_capacity(interaction.node_count());
+    let mut member = vec![false; interaction.node_count()];
     for component in components {
         let start = component
             .iter()
             .copied()
             .max_by_key(|&n| interaction.degree(n))
             .expect("component is non-empty");
+        for &n in &component {
+            member[n] = true;
+        }
         for n in bfs_order(interaction, start) {
-            if component.contains(&n) {
+            if member[n] {
                 order.push(n);
             }
+        }
+        for &n in &component {
+            member[n] = false;
         }
     }
     order

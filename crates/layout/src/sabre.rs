@@ -330,12 +330,35 @@ fn run_pass(
             !scratch.candidates.is_empty(),
             "front gates always have candidate swaps"
         );
+        // On landmark-backed devices, discard candidates whose bound-side
+        // score provably cannot reach the winner's tie band; the exact scan
+        // below then only pays for plausible candidates. A no-op on
+        // dense/sparse oracles, and bit-identical either way — the decayed
+        // scores the bounds bracket are exactly the scores compared below.
+        {
+            let SabreScratch {
+                scorer,
+                candidates,
+                decay,
+                ..
+            } = &mut *scratch;
+            scorer.prune_candidates(candidates, arch, &params, |(pa, pb)| {
+                decay[pa].max(decay[pb])
+            });
+        }
         let mut best_score = f64::INFINITY;
         scratch.ties.clear();
         for i in 0..scratch.candidates.len() {
             let (pa, pb) = scratch.candidates[i];
             let decay_factor = scratch.decay[pa].max(scratch.decay[pb]);
-            let score = decay_factor * scratch.scorer.swap_cost((pa, pb), arch, &params);
+            // Reuse the decayed score when the prune pass already computed
+            // it exactly (bitwise-identical float pipeline), sparing the
+            // rescan; candidates the bounds only bracketed pay the exact
+            // scan here.
+            let score = match scratch.scorer.pruned_score(i) {
+                Some(score) => score,
+                None => decay_factor * scratch.scorer.swap_cost((pa, pb), arch, &params),
+            };
             if score < best_score - 1e-12 {
                 best_score = score;
                 scratch.ties.clear();

@@ -125,6 +125,12 @@ impl Router for TketRouter {
                 scorer_ready = true;
             }
             scorer.candidates_into(arch, &mut candidates);
+            // Landmark-bound pruning (no-op on dense/sparse oracles): the
+            // scorer's front-only cost is the front-distance sum divided by
+            // the (positive, candidate-independent) front length, so the
+            // integer minimum below and its first occurrence survive
+            // pruning untouched — order is preserved.
+            scorer.prune_candidates(&mut candidates, arch, &params, |_| 1.0);
             let (pa, pb) = candidates
                 .iter()
                 .copied()

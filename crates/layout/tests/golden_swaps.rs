@@ -108,3 +108,58 @@ fn golden_swap_counts_unchanged_under_sparse_oracle() {
         assert!(sparse_arch.oracle_stats().rows_computed > 0);
     }
 }
+
+/// The landmark-backed oracle adds bound-based candidate pruning on top of
+/// the exact tiers, but pruning only ever discards candidates provably
+/// outside the winner's tie band — so forcing it onto the small fixture
+/// devices must also reproduce every golden count bit-for-bit. This is the
+/// acceptance gate for the pruned candidate scan (and the CI smoke for the
+/// landmark tier).
+#[test]
+fn golden_swap_counts_unchanged_under_landmark_oracle() {
+    use qubikos_graph::OracleKind;
+    /// (name, dense-oracle arch, circuit qubits, gates, seed, golden counts).
+    type Fixture = (&'static str, Architecture, usize, usize, u64, [usize; 4]);
+    let fixtures: [Fixture; 3] = [
+        ("line-8", devices::line(8), 6, 30, 42, [10, 16, 29, 25]),
+        ("grid-4x4", devices::grid(4, 4), 12, 60, 7, [16, 34, 48, 52]),
+        (
+            "rochester-53",
+            devices::rochester53(),
+            20,
+            60,
+            3,
+            [54, 71, 107, 85],
+        ),
+    ];
+    for (name, dense_arch, qubits, gates, seed, golden) in fixtures {
+        let landmark_arch = Architecture::with_oracle(
+            dense_arch.name(),
+            dense_arch.coupling_graph().clone(),
+            OracleKind::Landmark,
+        )
+        .expect("connected");
+        let circuit = random_circuit(qubits, gates, seed);
+        check_fixture(name, &landmark_arch, &circuit, golden);
+        let stats = landmark_arch.oracle_stats();
+        assert!(stats.rows_computed > 0);
+        // The SABRE/tket scans actually exercised the pruning path.
+        assert!(stats.exact_fallbacks > 0, "{name}: pruning never ran");
+    }
+}
+
+/// Osprey-433 golden fixture: one small QUEKO instance routed by all four
+/// tools on the auto-selected (landmark-backed) oracle, exact SWAP counts
+/// pinned. Any change to landmark selection, bound pruning, pinned
+/// eviction, or held-row scoring that shifts a routing decision at scale
+/// fails here loudly.
+#[test]
+fn golden_swap_counts_on_osprey433_queko() {
+    use qubikos::queko::{generate_queko, QuekoConfig};
+    use qubikos_graph::OracleKind;
+    let arch = devices::osprey433();
+    assert_eq!(arch.oracle_kind(), OracleKind::Landmark);
+    let queko = generate_queko(&arch, &QuekoConfig::new(5).with_density(0.05).with_seed(9))
+        .expect("generates");
+    check_fixture("osprey-433", &arch, queko.circuit(), [2, 22, 4, 4]);
+}

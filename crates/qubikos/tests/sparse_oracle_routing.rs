@@ -1,25 +1,33 @@
-//! Routing-scale gate for the sparse distance oracle (ISSUE 6 acceptance).
+//! Routing-scale gates for the cached/landmark distance oracles (ISSUE 6
+//! and ISSUE 7 acceptance).
 //!
 //! Routes QUEKO instances on the 127-qubit Eagle heavy-hex device through
-//! all four routers and asserts — via `oracle_stats` — that no dense 127²
-//! distance matrix was ever materialized: the sparse oracle computed far
-//! fewer rows than qubits-squared and the architecture reports the sparse
-//! kind. Also pins the oracle's memory shape on the 433-qubit Osprey lattice
-//! and checks that routing results are identical whether the shared
-//! architecture is queried from one thread or many (cache state is a
-//! performance artifact, never a correctness input).
+//! all four routers and asserts — via per-route `oracle_stats` deltas —
+//! that no dense 127² distance matrix was ever materialized and that no
+//! single router thrashes the row cache: every router stays under the 8k
+//! row-recompute ceiling on its own, and the bound-pruning routers really
+//! exercise the landmark tier (landmark queries, exact fallbacks, pinned
+//! hits all observed). Also pins the oracle's memory shape on the
+//! 433-qubit Osprey lattice, compares Osprey's per-gate routing wall-clock
+//! against grid(4,4) at benchmark density, and checks that routing results
+//! are identical whether the shared architecture is queried from one
+//! thread or many (cache state is a performance artifact, never a
+//! correctness input).
+
+use std::time::Instant;
 
 use qubikos::queko::{generate_queko, QuekoConfig};
 use qubikos_arch::{devices, Architecture};
-use qubikos_graph::{DistanceOracle, OracleKind};
-use qubikos_layout::{validate_routing, ToolKind};
+use qubikos_circuit::Circuit;
+use qubikos_graph::{OracleKind, OracleStats};
+use qubikos_layout::{validate_routing, Router, SabreConfig, SabreRouter, ToolKind};
 
 const TOOL_SEED: u64 = 11;
 
 #[test]
 fn eagle127_queko_routes_through_all_four_routers_sparsely() {
     let arch = devices::eagle127();
-    assert_eq!(arch.oracle_kind(), OracleKind::Sparse);
+    assert_eq!(arch.oracle_kind(), OracleKind::Landmark);
     assert_eq!(arch.oracle_stats().rows_computed, 0);
 
     // Modest depth/density keep the (deliberately expensive) QMAP A* router
@@ -27,56 +35,91 @@ fn eagle127_queko_routes_through_all_four_routers_sparsely() {
     // on instance size.
     let queko = generate_queko(&arch, &QuekoConfig::new(6).with_density(0.05).with_seed(5))
         .expect("generates");
+    let mut per_tool: Vec<(ToolKind, OracleStats)> = Vec::new();
     for tool in ToolKind::ALL {
+        let before = arch.oracle_stats();
         let routed = tool
             .build(TOOL_SEED)
             .route(queko.circuit(), &arch)
             .expect("fits");
         validate_routing(queko.circuit(), &arch, &routed).expect("valid routing");
+        per_tool.push((tool, arch.oracle_stats().since(&before)));
     }
 
-    // A dense matrix holds all 127 rows resident; the sparse oracle must
-    // never hold more than its (64-slot) cache — that bound is the "no
-    // dense 127² matrix" assertion. QUEKO circuits are device-width, so
-    // placement alone makes every qubit a distance source: what stays small
-    // is the *resident* row count, not the set of sources ever queried.
-    let DistanceOracle::Sparse(oracle) = arch.oracle() else {
-        panic!("eagle-127 must use the sparse oracle");
-    };
-    assert!(oracle.cached_rows() <= oracle.row_cache_capacity());
+    // A dense matrix holds all 127 rows resident; the exact row tier behind
+    // the landmark index must never hold more than its (64-slot) cache —
+    // that bound is the "no dense 127² matrix" assertion. QUEKO circuits
+    // are device-width, so placement alone makes every qubit a distance
+    // source: what stays small is the *resident* row count, not the set of
+    // sources ever queried.
+    let rows = arch
+        .oracle()
+        .row_tier()
+        .expect("eagle-127 must route through a row-cached oracle");
+    assert!(rows.cached_rows() <= rows.row_cache_capacity());
     assert!(
-        oracle.row_cache_capacity() < arch.num_qubits(),
+        rows.row_cache_capacity() < arch.num_qubits(),
         "cache as large as the device — dense matrix in disguise"
     );
 
-    // Recompute stays bounded and heavily amortized. Four routers over this
-    // instance measure ~5k row computations against ~580k distance queries;
-    // the known cache-thrash regressions (full-row fetches in the swap
-    // scorer / multilevel refinement) measured 20k–600k rows, so a 8k
-    // ceiling catches them with headroom to spare.
-    let stats = arch.oracle_stats();
-    assert!(stats.queries > 0, "routers never queried the oracle");
-    assert!(
-        stats.rows_computed < 8_000,
-        "sparse oracle recomputed {} rows — cache is thrashing",
-        stats.rows_computed
-    );
-    assert!(
-        stats.cache_hits > 10 * stats.rows_computed,
-        "row cache never amortized: {} hits vs {} rows",
-        stats.cache_hits,
-        stats.rows_computed
-    );
+    // Per-router recompute stays bounded and heavily amortized. Each router
+    // over this instance measures hundreds to ~2k row computations against
+    // tens of thousands of distance queries; the known cache-thrash
+    // regressions (full-row fetches in the swap scorer / multilevel
+    // refinement) measured 20k–600k rows, so an 8k per-router ceiling
+    // catches them with headroom to spare.
+    for (tool, delta) in &per_tool {
+        assert!(delta.queries > 0, "{tool}: router never queried the oracle");
+        assert!(
+            delta.rows_computed < 8_000,
+            "{tool}: recomputed {} rows — cache is thrashing",
+            delta.rows_computed
+        );
+        assert!(
+            delta.cache_hits > 10 * delta.rows_computed,
+            "{tool}: row cache never amortized: {} hits vs {} rows",
+            delta.cache_hits,
+            delta.rows_computed
+        );
+    }
+
+    // The SwapScorer-based routers (SABRE family and tket) must actually
+    // drive the landmark tier: bound queries answered, surviving candidates
+    // recorded as exact fallbacks, and front-pinned rows re-hit in cache.
+    // Routed on a cold architecture each — on the shared (warm) one above,
+    // bound queries legitimately resolve as exact peeks of resident rows,
+    // so a warm route proves nothing about the landmark index.
+    for tool in [ToolKind::LightSabre, ToolKind::Tket] {
+        let cold = devices::eagle127();
+        let routed = tool
+            .build(TOOL_SEED)
+            .route(queko.circuit(), &cold)
+            .expect("fits");
+        validate_routing(queko.circuit(), &cold, &routed).expect("valid routing");
+        let delta = cold.oracle_stats();
+        assert!(
+            delta.landmark_queries > 0,
+            "{tool}: pruning never consulted the landmark index"
+        );
+        assert!(
+            delta.exact_fallbacks > 0,
+            "{tool}: pruning never retained a candidate"
+        );
+        assert!(
+            delta.pinned_hits > 0,
+            "{tool}: front pinning never re-hit a resident row"
+        );
+    }
 }
 
 #[test]
 fn osprey433_memory_stays_sublinear_in_n_squared() {
     let arch = devices::osprey433();
-    assert_eq!(arch.oracle_kind(), OracleKind::Sparse);
+    assert_eq!(arch.oracle_kind(), OracleKind::Landmark);
 
     // Backbone-only: the memory-shape assertions below are instance-
-    // independent, and 433-qubit routing at real densities is a nightly
-    // benchmark (`oracle_bench`), not a unit-test workload.
+    // independent, and 433-qubit routing at real densities is covered by
+    // the per-gate gate below and the nightly `oracle_bench`.
     let queko = generate_queko(&arch, &QuekoConfig::new(6).with_density(0.0).with_seed(8))
         .expect("generates");
     let routed = ToolKind::LightSabre
@@ -85,21 +128,104 @@ fn osprey433_memory_stays_sublinear_in_n_squared() {
         .expect("fits");
     validate_routing(queko.circuit(), &arch, &routed).expect("valid routing");
 
-    // Peak oracle memory is capacity × n words; a dense matrix would be
-    // n × n. The cache bound is the structural guarantee.
-    let DistanceOracle::Sparse(oracle) = arch.oracle() else {
-        panic!("osprey-433 must use the sparse oracle");
-    };
-    let cache_words = oracle.row_cache_capacity() * arch.num_qubits();
+    // Peak exact-tier memory is capacity × n words and the landmark index
+    // adds L × n more; a dense matrix would be n × n. The cache bound is
+    // the structural guarantee.
+    let rows = arch
+        .oracle()
+        .row_tier()
+        .expect("osprey-433 must route through a row-cached oracle");
+    let landmark_rows = arch
+        .oracle()
+        .landmark()
+        .expect("osprey-433 auto-selects the landmark oracle")
+        .index()
+        .landmark_count();
+    let cache_words = (rows.row_cache_capacity() + landmark_rows) * arch.num_qubits();
     let dense_words = arch.num_qubits() * arch.num_qubits();
-    assert!(cache_words * 6 < dense_words, "cache not sublinear in n²");
-    assert!(oracle.cached_rows() <= oracle.row_cache_capacity());
+    assert!(cache_words * 2 < dense_words, "cache not sublinear in n²");
+    assert!(rows.cached_rows() <= rows.row_cache_capacity());
     assert!(arch.oracle_stats().rows_computed > 0);
 }
 
-/// Routing the same circuits on one shared sparse-oracle architecture from
-/// many threads (interleaving cache state arbitrarily) must produce exactly
-/// the SWAP counts sequential routing produces.
+/// Osprey-433 at real density routes at grid-like per-gate cost: the
+/// landmark-pruned candidate scan plus front-pinned row caching keep the
+/// per-gate wall-clock of a 433-qubit QUEKO route within 5x of the same
+/// router on grid(4,4) — without them the cold-cache row fetches in
+/// placement and the scan over 504 couplers blow the budget by an order
+/// of magnitude (~12x measured before this fast path landed).
+///
+/// Instance pairing: osprey runs at the same density (0.05) the eagle-127
+/// acceptance test uses; the grid baseline runs *denser* (0.1) and deeper,
+/// which lowers its per-gate cost and makes the 5x bound stricter, not
+/// looser. A single trial keeps both sides on the structure-aware greedy
+/// placement — extra trials are random restarts whose cost scales with
+/// device size, which would measure trial policy, not the oracle.
+#[test]
+fn osprey433_routes_at_grid_like_per_gate_cost() {
+    // Same router config on both devices so the comparison isolates the
+    // per-gate oracle + scan cost, not trial counts.
+    let router = SabreRouter::new(SabreConfig::default().with_seed(TOOL_SEED).with_trials(1));
+    let per_gate = |arch: &Architecture, circuit: &Circuit| -> f64 {
+        // Best of three routes: debug-build timing is noisy and the gate is
+        // a ratio, so compare each device's best-case per-gate cost.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let routed = router.route(circuit, arch).expect("fits");
+            let nanos = start.elapsed().as_nanos() as f64;
+            assert!(routed.swap_count() > 0 || circuit.gates().is_empty());
+            best = best.min(nanos / circuit.gates().len() as f64);
+        }
+        best
+    };
+
+    let grid = devices::grid(4, 4);
+    let grid_queko = generate_queko(&grid, &QuekoConfig::new(8).with_density(0.1).with_seed(5))
+        .expect("generates");
+    let grid_ns = per_gate(&grid, grid_queko.circuit());
+
+    let osprey = devices::osprey433();
+    let osprey_queko = generate_queko(
+        &osprey,
+        &QuekoConfig::new(5).with_density(0.05).with_seed(9),
+    )
+    .expect("generates");
+    let before = osprey.oracle_stats();
+    let osprey_ns = per_gate(&osprey, osprey_queko.circuit());
+    let delta = osprey.oracle_stats().since(&before);
+
+    // The per-route stats prove the fast path was really taken: bounds
+    // answered by the landmark index, a bounded number of exact fallbacks,
+    // pinned front rows re-hit in cache, and a row-recompute count far
+    // below the cold-cache regime.
+    assert!(
+        delta.landmark_queries > 0,
+        "osprey route never pruned via landmarks"
+    );
+    assert!(
+        delta.exact_fallbacks > 0,
+        "osprey route never fell back to exact scoring"
+    );
+    assert!(
+        delta.pinned_hits > 0,
+        "osprey route never re-hit a pinned row"
+    );
+    assert!(
+        delta.rows_computed < 8_000,
+        "osprey route recomputed {} rows — cache is thrashing",
+        delta.rows_computed
+    );
+
+    assert!(
+        osprey_ns < 5.0 * grid_ns,
+        "osprey-433 per-gate cost {osprey_ns:.0}ns exceeds 5x grid(4,4)'s {grid_ns:.0}ns"
+    );
+}
+
+/// Routing the same circuits on one shared cached-oracle architecture from
+/// many threads (interleaving cache and pin state arbitrarily) must produce
+/// exactly the SWAP counts sequential routing produces.
 #[test]
 fn shared_sparse_oracle_is_deterministic_across_thread_counts() {
     let arch = devices::eagle127();
