@@ -1,0 +1,165 @@
+//! Sharded-store throughput and memory smoke for nightly CI.
+//!
+//! Exports the same Grid-3x3 corpus at several shard sizes, then drives the
+//! full streaming pipeline over each — `verify`, a cold `eval`, and the
+//! `analytics` fold — and writes a `store_timings.json` report pairing
+//! per-stage wall-clock with the two memory witnesses: the store's
+//! shard-residency high-water mark (the flat-memory claim: at most one
+//! shard of circuits resident at a time, at every shard count) and the
+//! process's peak RSS from `/proc/self/status`. A store change that starts
+//! holding whole corpora in memory shows up as a `residency_peak` jump at
+//! high shard counts long before a million-instance corpus would OOM; a
+//! serialization regression shows up as an `export_ms`/`verify_ms` jump.
+//!
+//! ```text
+//! store_bench                              # print the table
+//! store_bench --json store_timings.json    # also export JSON
+//! store_bench --threads 4                  # explicit worker count
+//! ```
+//!
+//! Peak RSS is process-wide and monotone across rows, so only the first
+//! row's value is a clean per-corpus ceiling; later rows pin the claim
+//! that *no* shard size inflates it further.
+
+use qubikos_arch::DeviceKind;
+use qubikos_bench::analytics::{run_suite_analytics, AnalyticsConfig};
+use qubikos_bench::evaluation::{run_suite_evaluation, SuiteEvalConfig};
+use qubikos_bench::microbench::peak_rss_kb;
+use qubikos_bench::store::{ExportOptions, SuiteStore};
+use qubikos_bench::EvaluationConfig;
+use qubikos_engine::{threads_from_args, NullSink, AUTO_THREADS};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One shard-size row in the JSON export (durations in milliseconds).
+#[derive(Debug, Serialize)]
+struct StoreTiming {
+    device: String,
+    instances: usize,
+    shard_size: usize,
+    shards: usize,
+    threads: usize,
+    export_ms: f64,
+    verify_ms: f64,
+    eval_ms: f64,
+    analytics_ms: f64,
+    /// Most shards of circuits simultaneously resident across the whole
+    /// row — the streaming claim is that this never exceeds 1.
+    residency_peak: usize,
+    /// Process peak RSS (kB) after this row; 0 when procfs is unavailable.
+    peak_rss_kb: u64,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_nanos() as f64 / 1e6
+}
+
+fn bench_shard_size(root: &std::path::Path, shard_size: usize, threads: usize) -> StoreTiming {
+    let device = DeviceKind::Grid3x3;
+    let suite = EvaluationConfig::quick(device).suite;
+    let options = ExportOptions::default().with_shard_size(shard_size);
+
+    let start = Instant::now();
+    let outcome =
+        SuiteStore::export_with_options(root, device, &suite, &options, threads, &NullSink)
+            .expect("export succeeds");
+    let export_ms = ms(start);
+    let store = outcome.store.expect("uninterrupted export completes");
+
+    let start = Instant::now();
+    let report = store
+        .verify_streaming(threads, None, &NullSink)
+        .expect("verify runs");
+    assert!(report.failures.is_empty(), "fresh export verifies clean");
+    let verify_ms = ms(start);
+
+    store.reset_residency_peak();
+    let start = Instant::now();
+    let eval = run_suite_evaluation(&store, &SuiteEvalConfig::default().with_threads(threads))
+        .expect("evaluation runs");
+    let eval_ms = ms(start);
+    assert_eq!(eval.cache_hits, 0, "cold store evaluates everything fresh");
+
+    let start = Instant::now();
+    let analytics = run_suite_analytics(&store, &AnalyticsConfig::default().with_threads(threads))
+        .expect("analytics runs");
+    let analytics_ms = ms(start);
+    assert_eq!(
+        analytics.summary.fully_covered as usize,
+        store.total_instances(),
+        "the eval pass banked a cache entry for every (tool, circuit) pair"
+    );
+
+    StoreTiming {
+        device: device.name().to_string(),
+        instances: store.total_instances(),
+        shard_size,
+        shards: store.shard_count(),
+        threads,
+        export_ms,
+        verify_ms,
+        eval_ms,
+        analytics_ms,
+        residency_peak: store.residency_peak(),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = qubikos_bench::microbench::json_path_flag(&args);
+    let threads = threads_from_args(&args).unwrap_or(AUTO_THREADS);
+
+    let scratch = std::env::temp_dir().join(format!("qubikos-store-bench-{}", std::process::id()));
+    let mut rows = Vec::new();
+    // Same corpus at one-shard, few-shard, and shard-per-instance layouts.
+    for shard_size in [usize::MAX, 4, 2, 1] {
+        let total = EvaluationConfig::quick(DeviceKind::Grid3x3)
+            .suite
+            .total_circuits();
+        let shard_size = shard_size.min(total);
+        let root = scratch.join(format!("shards-{shard_size}"));
+        rows.push(bench_shard_size(&root, shard_size, threads));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "{:<10} {:>10} {:>11} {:>7} {:>10} {:>10} {:>10} {:>13} {:>10} {:>10}",
+        "device",
+        "instances",
+        "shard_size",
+        "shards",
+        "export",
+        "verify",
+        "eval",
+        "analytics",
+        "resident",
+        "rss_kb"
+    );
+    for row in &rows {
+        assert!(
+            row.residency_peak <= 1,
+            "streaming pipeline kept {} shards resident",
+            row.residency_peak
+        );
+        println!(
+            "{:<10} {:>10} {:>11} {:>7} {:>7.1} ms {:>7.1} ms {:>7.1} ms {:>10.1} ms {:>10} {:>10}",
+            row.device,
+            row.instances,
+            row.shard_size,
+            row.shards,
+            row.export_ms,
+            row.verify_ms,
+            row.eval_ms,
+            row.analytics_ms,
+            row.residency_peak,
+            row.peak_rss_kb
+        );
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&rows).expect("timings serialize");
+        std::fs::write(&path, json).expect("timing JSON is writable");
+        eprintln!("wrote store timings to {path}");
+    }
+}

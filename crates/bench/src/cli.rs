@@ -12,6 +12,7 @@
 //! cache) — and `Err` for configuration/IO errors.
 
 use crate::ablations::{run_ablations_with_sink, AblationConfig};
+use crate::analytics::{run_suite_analytics_with_sink, AnalyticsConfig};
 use crate::case_study::{run_case_study, CaseStudyConfig};
 use crate::evaluation::{
     aggregate_by_tool, run_suite_evaluation_with_sink, run_tool_evaluation_with_sink,
@@ -22,9 +23,10 @@ use crate::optimality::{
     run_optimality_study_with_sink, run_suite_optimality_with_sink, OptimalityConfig,
 };
 use crate::report::{
-    render_ablations, render_aggregate, render_case_study, render_evaluation, render_optimality,
+    render_ablations, render_aggregate, render_analytics, render_case_study, render_evaluation,
+    render_optimality,
 };
-use crate::store::SuiteStore;
+use crate::store::{ExportOptions, SuiteStore};
 use qubikos_arch::DeviceKind;
 use qubikos_engine::{
     threads_from_args, ProgressSink, StderrProgress, TeeSink, TimingSink, AUTO_THREADS,
@@ -66,6 +68,7 @@ pub fn dispatch(args: &[String]) -> CommandOutcome {
             }
         },
         "eval" => eval_command(rest),
+        "analytics" => analytics_command(rest),
         "optimality" => optimality_command(rest),
         "case-study" => case_study_command(rest),
         "ablations" => ablations_command(rest),
@@ -85,12 +88,25 @@ qubikos — the QUBIKOS benchmark and evaluation pipeline
 
 USAGE:
   qubikos suite export [--arch DEV] [--out DIR] [--full] [--threads N]
-      Generate a benchmark suite and persist it (manifest.json + QASM files).
+                       [--shard-size K] [--max-shards M]
+      Generate a benchmark suite and persist it as a sharded corpus: a small
+      manifest.json root index pointing at shards/shard_*.json manifests plus
+      the QASM files. Shards are generated in parallel with byte-identical
+      output at any thread count; an interrupted export (or --max-shards M)
+      leaves a ledger and re-running resumes with only the missing shards.
       The suite matches what `qubikos eval` would generate in memory for the
       same device, so stored and in-memory runs report identical numbers.
-  qubikos suite verify --suite DIR
-      Re-check every stored instance: manifest hash, QASM parse, and the
-      regeneration round trip.
+  qubikos suite verify --suite DIR [--threads N] [--max-shards M]
+      Re-check every stored instance, streaming one shard at a time: root
+      and shard hashes, QASM parse, and the regeneration round trip. Reports
+      every failing instance (with its shard and index) instead of stopping
+      at the first; clean shards are ledgered so a re-run after an interrupt
+      (or --max-shards M) only checks the remainder.
+  qubikos analytics --suite DIR [--threads N] [--json PATH]
+      Corpus-wide summary tables (gap distributions, per-tool win rates,
+      scaling curves) folded shard-by-shard from the results/ cache a prior
+      `eval --suite` run banked — no circuits are loaded, memory stays flat,
+      and the report is bit-identical at any thread count.
   qubikos eval [--arch DEV | --all] [--full] [--threads N]
                [--timing-json PATH] [--suite DIR] [--require-cached]
       Figure-4 tool evaluation. With --suite, runs from the stored corpus
@@ -119,6 +135,16 @@ pub fn suite_export_command(args: &[String]) -> CommandOutcome {
     let device = parse_arch(args)?.unwrap_or(DeviceKind::Aspen4);
     let out = arg_value(args, "--out").unwrap_or_else(|| "qubikos_suite".to_string());
     let threads = threads_from_args(args).unwrap_or(AUTO_THREADS);
+    let mut options = ExportOptions::default();
+    if let Some(shard_size) = numeric_flag(args, "--shard-size")? {
+        if shard_size == 0 {
+            return Err("--shard-size must be at least 1".into());
+        }
+        options = options.with_shard_size(shard_size);
+    }
+    if let Some(max_shards) = numeric_flag(args, "--max-shards")? {
+        options = options.with_stop_after_shards(max_shards);
+    }
     // The exported suite is exactly the one `eval` generates in memory for
     // the same device and mode, so `eval --suite` on the result reproduces
     // the in-memory report bit-identically.
@@ -128,14 +154,52 @@ pub fn suite_export_command(args: &[String]) -> CommandOutcome {
         EvaluationConfig::quick(device)
     };
     let progress = StderrProgress::new(format!("export {}", device.name()), 10);
-    let store = SuiteStore::export(&out, device, &eval_config.suite, threads, &progress)?;
-    println!(
-        "wrote {} instances + manifest for {} to {}",
-        store.manifest().instances.len(),
-        device.name(),
-        store.root().display()
-    );
-    Ok(0)
+    let outcome = SuiteStore::export_with_options(
+        &out,
+        device,
+        &eval_config.suite,
+        &options,
+        threads,
+        &progress,
+    )?;
+    match outcome.store {
+        Some(store) => {
+            println!(
+                "wrote {} instances for {} to {} ({} shards: {} generated, {} resumed from ledger)",
+                store.total_instances(),
+                device.name(),
+                store.root().display(),
+                outcome.shards_total,
+                outcome.shards_written,
+                outcome.shards_resumed
+            );
+            Ok(0)
+        }
+        None => {
+            println!(
+                "export interrupted after {} of {} shards ({} resumed); re-run the same \
+                 command to finish from the ledger",
+                outcome.shards_written + outcome.shards_resumed,
+                outcome.shards_total,
+                outcome.shards_resumed
+            );
+            Ok(0)
+        }
+    }
+}
+
+/// Parses a `--flag N` numeric option, erroring when the flag is present
+/// without a parseable value (a typo must never silently fall back to the
+/// default).
+fn numeric_flag(args: &[String], flag: &str) -> Result<Option<usize>, Box<dyn std::error::Error>> {
+    match arg_value(args, flag) {
+        None if flag_present(args, flag) => Err(format!("{flag} requires an integer").into()),
+        None => Ok(None),
+        Some(value) => value
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("{flag}: expected an integer, found `{value}`").into()),
+    }
 }
 
 /// Parses `--arch`, erroring on an unrecognized device name instead of
@@ -170,20 +234,79 @@ fn suite_flag(args: &[String]) -> Result<Option<String>, Box<dyn std::error::Err
 
 /// `qubikos suite verify`.
 ///
+/// Streams the corpus one shard at a time, reports **every** failing
+/// instance (with its shard and index) instead of stopping at the first,
+/// and ledgers clean shards so interrupted runs resume.
+///
 /// # Errors
 ///
-/// Store errors, including the first hash/parse/round-trip violation.
+/// Store errors (unreadable root index, IO); integrity violations are
+/// reported on stderr and exit code 1, not `Err`.
 pub fn suite_verify_command(args: &[String]) -> CommandOutcome {
     let dir = suite_flag(args)?
         .ok_or("suite verify requires --suite DIR (the exported suite directory)")?;
+    let threads = threads_from_args(args).unwrap_or(AUTO_THREADS);
+    let max_shards = numeric_flag(args, "--max-shards")?;
     let store = SuiteStore::open(&dir)?;
-    let outcome = store.verify()?;
+    let progress = StderrProgress::new(format!("verify {}", store.device().name()), 10);
+    let report = store.verify_streaming(threads, max_shards, &progress)?;
+    for failure in &report.failures {
+        eprintln!("FAIL: {failure}");
+    }
     println!(
-        "verified {} instances of {} in {} (hashes, QASM parse, regeneration round trip)",
-        outcome.instances,
+        "verified {} instances of {} in {} ({} shards checked, {} resumed from ledger; \
+         hashes, QASM parse, regeneration round trip)",
+        report.instances,
         store.device().name(),
-        store.root().display()
+        store.root().display(),
+        report.shards_checked,
+        report.shards_resumed
     );
+    if !report.failures.is_empty() {
+        eprintln!(
+            "ERROR: {} instances failed verification",
+            report.failures.len()
+        );
+        return Ok(1);
+    }
+    if !report.complete {
+        println!(
+            "verification interrupted after {} of {} shards; re-run to finish from the ledger",
+            report.shards_checked + report.shards_resumed,
+            store.shard_count()
+        );
+    }
+    Ok(0)
+}
+
+/// `qubikos analytics`: corpus-wide summary tables folded shard-by-shard
+/// from a stored suite's result cache.
+///
+/// # Errors
+///
+/// Store errors (unreadable root index or shard manifests).
+pub fn analytics_command(args: &[String]) -> CommandOutcome {
+    let dir =
+        suite_flag(args)?.ok_or("analytics requires --suite DIR (the exported suite directory)")?;
+    let json_path = match arg_value(args, "--json") {
+        Some(value) if value.starts_with("--") => {
+            return Err(format!("--json requires an output path, found flag `{value}`").into())
+        }
+        Some(value) => Some(value),
+        None if flag_present(args, "--json") => return Err("--json requires an output path".into()),
+        None => None,
+    };
+    let store = SuiteStore::open(&dir)?;
+    let config =
+        AnalyticsConfig::default().with_threads(threads_from_args(args).unwrap_or(AUTO_THREADS));
+    let progress = StderrProgress::new(format!("analytics {}", store.device().name()), 10);
+    let report = run_suite_analytics_with_sink(&store, &config, &progress)?;
+    print!("{}", render_analytics(&report));
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("analytics report serializes");
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote analytics report to {path}");
+    }
     Ok(0)
 }
 
@@ -355,7 +478,7 @@ pub fn optimality_command(args: &[String]) -> CommandOutcome {
         let store = SuiteStore::open(&dir)?;
         eprintln!(
             "verifying {} stored circuits on {}...",
-            store.manifest().instances.len(),
+            store.total_instances(),
             store.device().name()
         );
         let progress = StderrProgress::new("optimality study (suite)".to_string(), 50);
@@ -494,6 +617,21 @@ mod tests {
     #[test]
     fn require_cached_without_a_suite_is_an_error() {
         assert!(eval_command(&args(&["--require-cached"])).is_err());
+    }
+
+    #[test]
+    fn analytics_requires_a_suite() {
+        assert!(analytics_command(&args(&[])).is_err());
+        assert!(analytics_command(&args(&["--suite"])).is_err());
+        assert!(analytics_command(&args(&["--suite", "somewhere", "--json"])).is_err());
+    }
+
+    #[test]
+    fn numeric_flags_reject_garbage_instead_of_defaulting() {
+        assert!(suite_export_command(&args(&["--shard-size", "lots"])).is_err());
+        assert!(suite_export_command(&args(&["--shard-size", "0"])).is_err());
+        assert!(suite_export_command(&args(&["--max-shards", "-1"])).is_err());
+        assert!(suite_verify_command(&args(&["--suite", "x", "--max-shards", "two"])).is_err());
     }
 
     #[test]

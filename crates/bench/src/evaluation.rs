@@ -131,8 +131,9 @@ impl EvaluationReport {
 
 /// The cell-level gap metric, guarded for zero-optimum cells: the SWAP
 /// ratio where it is defined, the absolute excess SWAP count where it is
-/// not (see [`EvaluationCell::swap_ratio`]).
-fn cell_gap(average_swaps: f64, optimal_swaps: usize) -> f64 {
+/// not (see [`EvaluationCell::swap_ratio`]). Shared with the analytics
+/// module, whose gap histogram buckets the same per-instance metric.
+pub(crate) fn cell_gap(average_swaps: f64, optimal_swaps: usize) -> f64 {
     if optimal_swaps == 0 {
         average_swaps
     } else {
@@ -257,20 +258,26 @@ pub struct SuiteEvalOutcome {
     pub routed: usize,
     /// (tool, circuit) pairs answered from the result cache.
     pub cache_hits: usize,
+    /// Shards processed this run.
+    pub shards: usize,
+    /// Whether the whole corpus was covered (false when the run was
+    /// truncated by `stop_after_shards` — the report then covers a prefix).
+    pub complete: bool,
 }
 
 /// Runs the Figure-4 evaluation from a stored suite, reading and writing
 /// the store's content-addressed result cache.
 ///
-/// The corpus is materialized — and integrity-checked (hash, parse,
-/// regeneration round trip) — only when at least one (tool, circuit) pair
-/// misses the cache; a fully-warm run reads nothing but the manifest and
-/// the cache entries. Use `SuiteStore::verify` for a standalone integrity
-/// check.
+/// The run streams shard by shard: at most one shard of circuits is ever
+/// materialized (and integrity-checked — hash, parse, regeneration round
+/// trip), and only when at least one of that shard's (tool, circuit) pairs
+/// misses the cache; a fully-warm run reads nothing but the shard manifests
+/// and the cache entries. Use `SuiteStore::verify_streaming` for a
+/// standalone integrity check.
 ///
 /// # Errors
 ///
-/// Propagates [`StoreError`] from loading the suite or writing cache
+/// Propagates [`StoreError`] from loading a shard or writing cache
 /// entries. A corrupt cache *entry* is not an error — it reads as a miss
 /// and is recomputed and rewritten.
 ///
@@ -285,7 +292,8 @@ pub fn run_suite_evaluation(
 }
 
 /// [`run_suite_evaluation`] with a caller-supplied progress/metrics sink.
-/// The sink only sees the jobs that actually run (cache misses).
+/// The sink only sees the jobs that actually run (cache misses), one engine
+/// worklist per shard with misses.
 ///
 /// # Errors
 ///
@@ -297,101 +305,133 @@ pub fn run_suite_evaluation_with_sink(
     config: &SuiteEvalConfig,
     sink: &dyn ProgressSink,
 ) -> Result<SuiteEvalOutcome, StoreError> {
+    run_suite_evaluation_partial(store, config, None, sink)
+}
+
+/// The streaming core of the suite-backed evaluation: processes shards in
+/// order, folding each shard's results into the report accumulator before
+/// the next shard is touched, so memory stays bounded by one shard plus the
+/// fold state no matter how large the corpus is.
+///
+/// `stop_after_shards` truncates the run after that many shards (the
+/// interrupt hook for resume tests and CI); per-pair results are banked in
+/// the content-addressed cache as they are produced, so a rerun answers the
+/// already-processed shards entirely from cache — resume at shard
+/// granularity falls out of the cache semantics, no ledger needed.
+///
+/// # Errors
+///
+/// # Panics
+///
+/// As [`run_suite_evaluation`].
+pub fn run_suite_evaluation_partial(
+    store: &SuiteStore,
+    config: &SuiteEvalConfig,
+    stop_after_shards: Option<usize>,
+    sink: &dyn ProgressSink,
+) -> Result<SuiteEvalOutcome, StoreError> {
     let device = store.device();
-    let manifest = store.manifest();
-    let hashes: Vec<&str> = manifest
-        .instances
-        .iter()
-        .map(|r| r.content_hash.as_str())
-        .collect();
-    let point_swap_counts: Vec<usize> = manifest.instances.iter().map(|r| r.swap_count).collect();
+    let arch = device.build();
+    let swap_counts = store.config().swap_counts.clone();
+    let shards = stop_after_shards
+        .unwrap_or(usize::MAX)
+        .min(store.shard_count());
+    let mut fold = EvalFold::new(&config.tools, &swap_counts);
+    let mut routed_total = 0;
+    let mut cache_hits = 0;
 
-    let jobs: Vec<(usize, usize)> = all_pairs(manifest.instances.len(), config.tools.len());
-    let job_key = |&(tool_index, point_index): &(usize, usize)| {
-        JobKey::new(config.tools[tool_index].name(), hashes[point_index])
-    };
-
-    // Resolve the cache first: only misses become engine jobs.
-    let mut swaps: Vec<Option<usize>> = jobs
-        .iter()
-        .map(|job| {
-            let cached: CachedRouting = store.read_cached(&job_key(job))?;
-            // An entry produced under a different tool seed (or, defensively,
-            // for different bytes) answers a different question: miss.
-            (cached.tool_seed == config.tool_seed && cached.circuit_hash == hashes[job.1])
-                .then_some(cached.swaps)
-        })
-        .collect();
-    let misses: Vec<(usize, usize)> = jobs
-        .iter()
-        .zip(&swaps)
-        .filter(|(_, cached)| cached.is_none())
-        .map(|(&job, _)| job)
-        .collect();
-
-    if !misses.is_empty() {
-        // The circuits are only materialized — and the corpus only
-        // re-verified (hash, parse, regeneration round trip) — when there is
-        // fresh routing to do; a fully-warm run reads nothing but the
-        // manifest and the cache entries. Each result is persisted from
-        // inside its job: a run killed at 90% of a large corpus has already
-        // banked 90% of its work, which is what makes an interrupted or
-        // sharded run resumable (`write_cached` is rename-atomic, so a kill
-        // mid-write costs only that one entry).
-        let arch = device.build();
-        let suite = store.load()?;
-        let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
-        let routed: Vec<usize> = engine
-            .run_values(
-                &misses,
-                |_worker| {
-                    config
-                        .tools
-                        .iter()
-                        .map(|&tool| tool.build(config.tool_seed))
-                        .collect::<Vec<_>>()
-                },
-                |routers, _ctx, job: &(usize, usize)| -> Result<usize, StoreError> {
-                    let swaps = route_and_count(routers[job.0].as_ref(), &suite[job.1], &arch);
-                    store.write_cached(
-                        &job_key(job),
-                        &CachedRouting {
-                            tool: config.tools[job.0].name().to_string(),
-                            tool_seed: config.tool_seed,
-                            circuit_hash: hashes[job.1].to_string(),
-                            swaps,
-                        },
-                    )?;
-                    Ok(swaps)
-                },
-                sink,
+    for shard in 0..shards {
+        let records = store.shard_records(shard)?;
+        let jobs: Vec<(usize, usize)> = all_pairs(records.len(), config.tools.len());
+        let job_key = |&(tool_index, point_index): &(usize, usize)| {
+            JobKey::new(
+                config.tools[tool_index].name(),
+                &records[point_index].content_hash,
             )
-            .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"))
-            .into_iter()
-            .collect::<Result<_, _>>()?;
+        };
 
-        // Fill the gaps left by the cache misses.
-        let mut fresh = routed.iter();
-        for slot in swaps.iter_mut().filter(|slot| slot.is_none()) {
-            *slot = Some(*fresh.next().expect("one routed result per miss"));
+        // Resolve the cache first: only misses become engine jobs.
+        let mut swaps: Vec<Option<usize>> = jobs
+            .iter()
+            .map(|job| {
+                let cached: CachedRouting = store.read_cached(&job_key(job))?;
+                // An entry produced under a different tool seed (or,
+                // defensively, for different bytes) answers a different
+                // question: miss.
+                (cached.tool_seed == config.tool_seed
+                    && cached.circuit_hash == records[job.1].content_hash)
+                    .then_some(cached.swaps)
+            })
+            .collect();
+        let misses: Vec<(usize, usize)> = jobs
+            .iter()
+            .zip(&swaps)
+            .filter(|(_, cached)| cached.is_none())
+            .map(|(&job, _)| job)
+            .collect();
+
+        if !misses.is_empty() {
+            // The shard's circuits are only materialized — and only this
+            // shard re-verified (hash, parse, regeneration round trip) —
+            // when there is fresh routing to do. Each result is persisted
+            // from inside its job: a run killed at 90% of a large corpus has
+            // already banked 90% of its work (`write_cached` is
+            // rename-atomic, so a kill mid-write costs only that one entry).
+            let loaded = store.load_shard(shard)?;
+            let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
+            let routed: Vec<usize> = engine
+                .run_values(
+                    &misses,
+                    |_worker| {
+                        config
+                            .tools
+                            .iter()
+                            .map(|&tool| tool.build(config.tool_seed))
+                            .collect::<Vec<_>>()
+                    },
+                    |routers, _ctx, job: &(usize, usize)| -> Result<usize, StoreError> {
+                        let swaps = route_and_count(routers[job.0].as_ref(), &loaded[job.1], &arch);
+                        store.write_cached(
+                            &job_key(job),
+                            &CachedRouting {
+                                tool: config.tools[job.0].name().to_string(),
+                                tool_seed: config.tool_seed,
+                                circuit_hash: records[job.1].content_hash.clone(),
+                                swaps,
+                            },
+                        )?;
+                        Ok(swaps)
+                    },
+                    sink,
+                )
+                .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"))
+                .into_iter()
+                .collect::<Result<_, _>>()?;
+
+            // Fill the gaps left by the cache misses.
+            let mut fresh = routed.iter();
+            for slot in swaps.iter_mut().filter(|slot| slot.is_none()) {
+                *slot = Some(*fresh.next().expect("one routed result per miss"));
+            }
         }
+
+        for (&(tool_index, point_index), slot) in jobs.iter().zip(&swaps) {
+            fold.add(
+                tool_index,
+                records[point_index].swap_count,
+                slot.expect("every job resolved"),
+            );
+        }
+        routed_total += misses.len();
+        cache_hits += jobs.len() - misses.len();
     }
-    let swaps: Vec<usize> = swaps
-        .into_iter()
-        .map(|slot| slot.expect("every job resolved"))
-        .collect();
 
     Ok(SuiteEvalOutcome {
-        report: assemble_report(
-            device,
-            &config.tools,
-            &manifest.config.swap_counts,
-            &point_swap_counts,
-            &jobs,
-            &swaps,
-        ),
-        routed: misses.len(),
-        cache_hits: jobs.len() - misses.len(),
+        report: fold.finish(device),
+        routed: routed_total,
+        cache_hits,
+        shards,
+        complete: shards == store.shard_count(),
     })
 }
 
@@ -435,12 +475,69 @@ fn route_jobs(
         .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"))
 }
 
+/// Incremental accumulator behind every evaluation report: per
+/// (tool, designed SWAP count) cell it keeps only an integer SWAP sum and a
+/// circuit count, so folding is **exactly associative** — results folded
+/// shard by shard, or all at once, or in any grouping, finish to the same
+/// bytes. Averages and ratios are derived (in f64) only at
+/// [`finish`](Self::finish), never accumulated.
+struct EvalFold<'a> {
+    tools: &'a [ToolKind],
+    swap_counts: &'a [usize],
+    /// `cells[tool_index][count_index]` = (SWAP sum, circuits).
+    cells: Vec<Vec<(u64, usize)>>,
+}
+
+impl<'a> EvalFold<'a> {
+    fn new(tools: &'a [ToolKind], swap_counts: &'a [usize]) -> Self {
+        EvalFold {
+            tools,
+            swap_counts,
+            cells: vec![vec![(0, 0); swap_counts.len()]; tools.len()],
+        }
+    }
+
+    /// Adds one routed (tool, circuit) result. Results for designed counts
+    /// outside the configured grid are dropped, matching the historical
+    /// cell-filter semantics.
+    fn add(&mut self, tool_index: usize, designed_swaps: usize, swaps: usize) {
+        if let Some(count_index) = self.swap_counts.iter().position(|&c| c == designed_swaps) {
+            let cell = &mut self.cells[tool_index][count_index];
+            cell.0 += swaps as u64;
+            cell.1 += 1;
+        }
+    }
+
+    /// Renders the accumulated cells, visiting tools then SWAP counts in
+    /// config order (empty cells skipped) — the exact order and arithmetic
+    /// of the original one-shot report assembly.
+    fn finish(self, device: DeviceKind) -> EvaluationReport {
+        let mut cells = Vec::new();
+        for (tool_index, &tool) in self.tools.iter().enumerate() {
+            for (count_index, &count) in self.swap_counts.iter().enumerate() {
+                let (sum, circuits) = self.cells[tool_index][count_index];
+                if circuits == 0 {
+                    continue;
+                }
+                let average_swaps = sum as f64 / circuits as f64;
+                cells.push(EvaluationCell {
+                    tool,
+                    optimal_swaps: count,
+                    circuits,
+                    average_swaps,
+                    swap_ratio: cell_gap(average_swaps, count),
+                });
+            }
+        }
+        EvaluationReport { device, cells }
+    }
+}
+
 /// Folds per-job SWAP counts into the per-(tool, SWAP count) cell grid.
-/// `swaps[i]` is the result of `jobs[i]`; the fold visits jobs in job order,
-/// so the report is schedule-independent. `point_swap_counts[p]` is point
-/// `p`'s designed SWAP count — the only per-circuit datum the fold needs,
-/// so a fully-cached suite run can assemble the report from the manifest
-/// alone without materializing any circuit.
+/// `swaps[i]` is the result of `jobs[i]`; the fold is associative (see
+/// [`EvalFold`]), so the report is schedule-independent.
+/// `point_swap_counts[p]` is point `p`'s designed SWAP count — the only
+/// per-circuit datum the fold needs.
 fn assemble_report(
     device: DeviceKind,
     tools: &[ToolKind],
@@ -449,29 +546,11 @@ fn assemble_report(
     jobs: &[(usize, usize)],
     swaps: &[usize],
 ) -> EvaluationReport {
-    let mut cells = Vec::new();
-    for (tool_index, &tool) in tools.iter().enumerate() {
-        for &count in swap_counts {
-            let cell_swaps: Vec<usize> = jobs
-                .iter()
-                .zip(swaps)
-                .filter(|((t, p), _)| *t == tool_index && point_swap_counts[*p] == count)
-                .map(|(_, &s)| s)
-                .collect();
-            if cell_swaps.is_empty() {
-                continue;
-            }
-            let average_swaps = cell_swaps.iter().sum::<usize>() as f64 / cell_swaps.len() as f64;
-            cells.push(EvaluationCell {
-                tool,
-                optimal_swaps: count,
-                circuits: cell_swaps.len(),
-                average_swaps,
-                swap_ratio: cell_gap(average_swaps, count),
-            });
-        }
+    let mut fold = EvalFold::new(tools, swap_counts);
+    for (&(tool_index, point_index), &s) in jobs.iter().zip(swaps) {
+        fold.add(tool_index, point_swap_counts[point_index], s);
     }
-    EvaluationReport { device, cells }
+    fold.finish(device)
 }
 
 fn route_and_count(router: &dyn Router, point: &ExperimentPoint, arch: &Architecture) -> usize {

@@ -15,10 +15,14 @@
 //! Every command is also a subcommand of the unified `qubikos` binary
 //! ([`cli`] holds the shared implementations; the single-purpose bins are
 //! thin wrappers), and the evaluation/optimality pipelines can run from a
-//! persistent on-disk corpus ([`store::SuiteStore`]: `manifest.json` +
-//! QASM files + a content-addressed `results/` cache keyed by
+//! persistent on-disk corpus ([`store::SuiteStore`]: a small `manifest.json`
+//! root index pointing at `shards/shard_*.json` shard manifests plus QASM
+//! files and a content-addressed `results/` cache keyed by
 //! [`qubikos_engine::JobKey`]) via `--suite DIR`, skipping every
-//! (tool, circuit) pair the cache already holds.
+//! (tool, circuit) pair the cache already holds. Export and verification
+//! resume at shard granularity via a ledger next to the root index, the
+//! pipelines stream one shard at a time, and [`analytics`] folds cached
+//! results into corpus-wide summaries with an associative per-shard merge.
 //!
 //! Every pipeline executes on the [`qubikos_engine`] work-stealing executor:
 //! results are identical for any thread count, a `--threads` flag is shared
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod analytics;
 pub mod case_study;
 pub mod cli;
 pub mod evaluation;
@@ -39,14 +44,23 @@ pub mod report;
 pub mod store;
 
 pub use ablations::{run_ablations, AblationConfig, AblationPoint, AblationReport};
+pub use analytics::{
+    gap_bucket, run_suite_analytics, run_suite_analytics_with_sink, AnalyticsConfig,
+    AnalyticsReport, ScalingPoint, ShardSummary, ToolSummary, GAP_BUCKETS, GAP_BUCKET_EDGES,
+};
 pub use case_study::{run_case_study, CaseStudyConfig, CaseStudyOutcome};
 pub use evaluation::{
-    aggregate_by_tool, run_suite_evaluation, run_suite_evaluation_with_sink, run_tool_evaluation,
-    run_tool_evaluation_with_sink, EvaluationCell, EvaluationConfig, EvaluationReport,
-    SuiteEvalConfig, SuiteEvalOutcome, DEFAULT_TOOL_SEED,
+    aggregate_by_tool, run_suite_evaluation, run_suite_evaluation_partial,
+    run_suite_evaluation_with_sink, run_tool_evaluation, run_tool_evaluation_with_sink,
+    EvaluationCell, EvaluationConfig, EvaluationReport, SuiteEvalConfig, SuiteEvalOutcome,
+    DEFAULT_TOOL_SEED,
 };
 pub use optimality::{
-    run_optimality_study, run_suite_optimality, run_suite_optimality_with_sink, ExactNodesAtK,
-    OptimalityConfig, OptimalityReport, SuiteOptimalityOutcome,
+    run_optimality_study, run_suite_optimality, run_suite_optimality_partial,
+    run_suite_optimality_with_sink, ExactNodesAtK, OptimalityConfig, OptimalityReport,
+    SuiteOptimalityOutcome,
 };
-pub use store::{export_suite, StoreError, SuiteStore, VerifyOutcome};
+pub use store::{
+    export_suite, ExportOptions, ExportOutcome, LoadedShard, StoreError, SuiteStore, VerifyFailure,
+    VerifyOutcome, VerifyReport, EXPORT_LEDGER_FILE, VERIFY_LEDGER_FILE,
+};

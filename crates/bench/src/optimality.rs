@@ -251,19 +251,34 @@ pub fn run_optimality_study_with_sink(
     Ok(fold_outcomes(&outcomes))
 }
 
-/// Folds per-circuit outcomes (in job order) into the aggregate report.
-fn fold_outcomes(outcomes: &[PointOutcome]) -> OptimalityReport {
-    let mut report = OptimalityReport {
-        circuits: 0,
-        certified: 0,
-        exactly_confirmed: 0,
-        exact_budget_exceeded: 0,
-        failures: 0,
-        exact_nodes: 0,
-        exact_nodes_by_k: Vec::new(),
-        exact_wall_micros: 0,
-    };
-    for outcome in outcomes {
+/// Incremental accumulator behind the study report. Every field is an
+/// integer sum (or count keyed by queried SWAP budget), so the fold is
+/// **exactly associative**: outcomes folded shard by shard finish to the
+/// same report as a single pass, in any grouping. The per-`k` breakdown is
+/// sorted only at [`finish`](Self::finish), matching the historical
+/// one-shot fold.
+struct OptimalityFold {
+    report: OptimalityReport,
+}
+
+impl OptimalityFold {
+    fn new() -> Self {
+        OptimalityFold {
+            report: OptimalityReport {
+                circuits: 0,
+                certified: 0,
+                exactly_confirmed: 0,
+                exact_budget_exceeded: 0,
+                failures: 0,
+                exact_nodes: 0,
+                exact_nodes_by_k: Vec::new(),
+                exact_wall_micros: 0,
+            },
+        }
+    }
+
+    fn add(&mut self, outcome: &PointOutcome) {
+        let report = &mut self.report;
         report.circuits += 1;
         match outcome.verdict {
             CircuitVerdict::CertificateFailed => report.failures += 1,
@@ -301,8 +316,22 @@ fn fold_outcomes(outcomes: &[PointOutcome]) -> OptimalityReport {
             }
         }
     }
-    report.exact_nodes_by_k.sort_by_key(|entry| entry.swaps);
-    report
+
+    fn finish(mut self) -> OptimalityReport {
+        self.report
+            .exact_nodes_by_k
+            .sort_by_key(|entry| entry.swaps);
+        self.report
+    }
+}
+
+/// Folds per-circuit outcomes (in job order) into the aggregate report.
+fn fold_outcomes(outcomes: &[PointOutcome]) -> OptimalityReport {
+    let mut fold = OptimalityFold::new();
+    for outcome in outcomes {
+        fold.add(outcome);
+    }
+    fold.finish()
 }
 
 /// One cached verification outcome: the `results/optimality/<hash>.json`
@@ -339,17 +368,23 @@ pub struct SuiteOptimalityOutcome {
     pub verified: usize,
     /// Circuits answered from the result cache.
     pub cache_hits: usize,
+    /// Shards processed this run.
+    pub shards: usize,
+    /// Whether the whole corpus was covered (false when the run was
+    /// truncated by `stop_after_shards` — the report then covers a prefix).
+    pub complete: bool,
 }
 
 /// Runs the optimality verification over a stored suite, reading and
 /// writing the store's `results/optimality/` cache. The suite and device
-/// come from the store's manifest; `config.devices` and `config.suite` are
-/// not consulted. As with the suite evaluation, the corpus is materialized
-/// and integrity-checked only when at least one circuit misses the cache.
+/// come from the store's root index; `config.devices` and `config.suite`
+/// are not consulted. As with the suite evaluation, the run streams shard
+/// by shard: at most one shard of circuits is ever materialized, and only
+/// when at least one of its circuits misses the cache.
 ///
 /// # Errors
 ///
-/// Propagates [`StoreError`] from loading the suite or writing cache
+/// Propagates [`StoreError`] from loading a shard or writing cache
 /// entries.
 pub fn run_suite_optimality(
     store: &SuiteStore,
@@ -360,7 +395,7 @@ pub fn run_suite_optimality(
 
 /// [`run_suite_optimality`] with a caller-supplied progress/metrics sink.
 /// The sink only sees the circuits that are actually verified (cache
-/// misses).
+/// misses), one engine worklist per shard with misses.
 ///
 /// # Errors
 ///
@@ -370,89 +405,118 @@ pub fn run_suite_optimality_with_sink(
     config: &OptimalityConfig,
     sink: &dyn ProgressSink,
 ) -> Result<SuiteOptimalityOutcome, StoreError> {
-    let manifest = store.manifest();
-    let instances = manifest.instances.len();
-    let hashes: Vec<&str> = manifest
-        .instances
-        .iter()
-        .map(|r| r.content_hash.as_str())
-        .collect();
-    let key = |point_index: usize| JobKey::new("optimality", hashes[point_index]);
+    run_suite_optimality_partial(store, config, None, sink)
+}
 
-    // Resolve the cache first: only misses are verified.
-    let mut outcomes: Vec<Option<PointOutcome>> = (0..instances)
-        .map(|point_index| {
-            let cached: CachedVerification = store.read_cached(&key(point_index))?;
-            let compatible = cached.circuit_hash == hashes[point_index]
-                && cached.max_swaps == config.exact.max_swaps
-                && cached.node_budget == config.exact.node_budget
-                && cached.exact_swap_limit == config.exact_swap_limit;
-            if !compatible {
-                return None;
-            }
-            Some(PointOutcome {
-                verdict: CircuitVerdict::parse(&cached.verdict)?,
-                exact_queries: cached.queries,
-                exact_wall_micros: cached.wall_micros,
+/// The streaming core of the suite-backed optimality run: processes shards
+/// in order, folding each shard's verdicts into the report accumulator
+/// before the next shard is touched, so memory stays bounded by one shard
+/// plus the fold state.
+///
+/// `stop_after_shards` truncates the run after that many shards; verdicts
+/// are banked in the content-addressed cache as they are produced, so a
+/// rerun answers the already-processed shards entirely from cache — resume
+/// at shard granularity falls out of the cache semantics.
+///
+/// # Errors
+///
+/// As [`run_suite_optimality`].
+pub fn run_suite_optimality_partial(
+    store: &SuiteStore,
+    config: &OptimalityConfig,
+    stop_after_shards: Option<usize>,
+    sink: &dyn ProgressSink,
+) -> Result<SuiteOptimalityOutcome, StoreError> {
+    let arch = store.device().build();
+    let base_seed = store.config().base_seed;
+    let shards = stop_after_shards
+        .unwrap_or(usize::MAX)
+        .min(store.shard_count());
+    let mut fold = OptimalityFold::new();
+    let mut verified_total = 0;
+    let mut cache_hits = 0;
+
+    for shard in 0..shards {
+        let records = store.shard_records(shard)?;
+        let key =
+            |point_index: usize| JobKey::new("optimality", &records[point_index].content_hash);
+
+        // Resolve the cache first: only misses are verified.
+        let mut outcomes: Vec<Option<PointOutcome>> = (0..records.len())
+            .map(|point_index| {
+                let cached: CachedVerification = store.read_cached(&key(point_index))?;
+                let compatible = cached.circuit_hash == records[point_index].content_hash
+                    && cached.max_swaps == config.exact.max_swaps
+                    && cached.node_budget == config.exact.node_budget
+                    && cached.exact_swap_limit == config.exact_swap_limit;
+                if !compatible {
+                    return None;
+                }
+                Some(PointOutcome {
+                    verdict: CircuitVerdict::parse(&cached.verdict)?,
+                    exact_queries: cached.queries,
+                    exact_wall_micros: cached.wall_micros,
+                })
             })
-        })
-        .collect();
-    let misses: Vec<usize> = outcomes
-        .iter()
-        .enumerate()
-        .filter(|(_, o)| o.is_none())
-        .map(|(i, _)| i)
-        .collect();
+            .collect();
+        let misses: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_none())
+            .map(|(i, _)| i)
+            .collect();
 
-    if !misses.is_empty() {
-        // The circuits are only materialized — and the corpus only
-        // re-verified — when there are misses to work on; a fully-warm run
-        // reads nothing but the manifest and the cache entries. Each
-        // verdict is persisted from inside its job so an interrupted run
-        // resumes where it stopped (`write_cached` is rename-atomic; a kill
-        // mid-write costs only that one entry).
-        let arch = store.device().build();
-        let points = store.load()?;
-        let engine = Engine::new(config.threads).with_base_seed(manifest.config.base_seed);
-        let fresh: Vec<PointOutcome> = engine
-            .run_values(
-                &misses,
-                |_worker| ExactSolver::new(config.exact),
-                |solver, _ctx, &point_index| -> Result<PointOutcome, StoreError> {
-                    let outcome = verify_point(solver, config, &arch, &points[point_index]);
-                    store.write_cached(
-                        &key(point_index),
-                        &CachedVerification {
-                            circuit_hash: hashes[point_index].to_string(),
-                            max_swaps: config.exact.max_swaps,
-                            node_budget: config.exact.node_budget,
-                            exact_swap_limit: config.exact_swap_limit,
-                            verdict: outcome.verdict.name().to_string(),
-                            queries: outcome.exact_queries.clone(),
-                            wall_micros: outcome.exact_wall_micros,
-                        },
-                    )?;
-                    Ok(outcome)
-                },
-                sink,
-            )
-            .unwrap_or_else(|error| panic!("optimality study aborted: {error}"))
-            .into_iter()
-            .collect::<Result<_, _>>()?;
+        if !misses.is_empty() {
+            // The shard's circuits are only materialized — and only this
+            // shard re-verified — when there are misses to work on. Each
+            // verdict is persisted from inside its job so an interrupted
+            // run resumes where it stopped (`write_cached` is
+            // rename-atomic; a kill mid-write costs only that one entry).
+            let points = store.load_shard(shard)?;
+            let engine = Engine::new(config.threads).with_base_seed(base_seed);
+            let fresh: Vec<PointOutcome> = engine
+                .run_values(
+                    &misses,
+                    |_worker| ExactSolver::new(config.exact),
+                    |solver, _ctx, &point_index| -> Result<PointOutcome, StoreError> {
+                        let outcome = verify_point(solver, config, &arch, &points[point_index]);
+                        store.write_cached(
+                            &key(point_index),
+                            &CachedVerification {
+                                circuit_hash: records[point_index].content_hash.clone(),
+                                max_swaps: config.exact.max_swaps,
+                                node_budget: config.exact.node_budget,
+                                exact_swap_limit: config.exact_swap_limit,
+                                verdict: outcome.verdict.name().to_string(),
+                                queries: outcome.exact_queries.clone(),
+                                wall_micros: outcome.exact_wall_micros,
+                            },
+                        )?;
+                        Ok(outcome)
+                    },
+                    sink,
+                )
+                .unwrap_or_else(|error| panic!("optimality study aborted: {error}"))
+                .into_iter()
+                .collect::<Result<_, _>>()?;
 
-        for (&point_index, outcome) in misses.iter().zip(&fresh) {
-            outcomes[point_index] = Some(outcome.clone());
+            for (&point_index, outcome) in misses.iter().zip(&fresh) {
+                outcomes[point_index] = Some(outcome.clone());
+            }
         }
+        for slot in &outcomes {
+            fold.add(slot.as_ref().expect("every circuit resolved"));
+        }
+        verified_total += misses.len();
+        cache_hits += records.len() - misses.len();
     }
-    let outcomes: Vec<PointOutcome> = outcomes
-        .into_iter()
-        .map(|slot| slot.expect("every circuit resolved"))
-        .collect();
 
     Ok(SuiteOptimalityOutcome {
-        report: fold_outcomes(&outcomes),
-        verified: misses.len(),
-        cache_hits: instances - misses.len(),
+        report: fold.finish(),
+        verified: verified_total,
+        cache_hits,
+        shards,
+        complete: shards == store.shard_count(),
     })
 }
 

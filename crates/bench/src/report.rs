@@ -2,6 +2,7 @@
 //! plots in Figure 4 and quotes in the text.
 
 use crate::ablations::AblationReport;
+use crate::analytics::{AnalyticsReport, GAP_BUCKET_EDGES};
 use crate::case_study::CaseStudyOutcome;
 use crate::evaluation::EvaluationReport;
 use crate::optimality::OptimalityReport;
@@ -103,6 +104,76 @@ pub fn render_case_study(outcome: &CaseStudyOutcome) -> String {
         outcome.decayed_optimal,
         outcome.circuits
     )
+}
+
+/// Renders the streaming corpus analytics: per-tool coverage, optimality
+/// and win counts, the gap-distribution histograms, and the scaling curves.
+/// Every ratio is derived from the integer fold here, at render time, so
+/// the rendered text is bit-identical for any thread count.
+pub fn render_analytics(report: &AnalyticsReport) -> String {
+    let summary = &report.summary;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "corpus analytics on {}: {} instances in {} shards, {} fully covered (tool seed {})",
+        report.device.name(),
+        summary.instances,
+        report.shards,
+        summary.fully_covered,
+        report.tool_seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<12}{:>10}{:>10}{:>10}{:>12}",
+        "tool", "covered", "optimal", "wins", "agg ratio"
+    );
+    for tool in &summary.tools {
+        let ratio = if tool.sum_designed > 0 {
+            tool.sum_swaps as f64 / tool.sum_designed as f64
+        } else {
+            f64::NAN
+        };
+        let _ = writeln!(
+            out,
+            "{:<12}{:>10}{:>10}{:>10}{:>11.2}x",
+            tool.tool.name(),
+            tool.covered,
+            tool.optimal,
+            tool.wins,
+            ratio
+        );
+    }
+    let _ = writeln!(
+        out,
+        "gap histogram (upper edges {GAP_BUCKET_EDGES:?}, then overflow)"
+    );
+    for tool in &summary.tools {
+        if tool.covered == 0 {
+            continue;
+        }
+        let _ = write!(out, "  {:<12}", tool.tool.name());
+        for count in &tool.gap_histogram {
+            let _ = write!(out, "{count:>7}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "scaling (average inserted SWAPs by designed count)");
+    for tool in &summary.tools {
+        if tool.scaling.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "  {:<12}", tool.tool.name());
+        for point in &tool.scaling {
+            let _ = write!(
+                out,
+                " {}:{:.2}",
+                point.designed,
+                point.sum_swaps as f64 / point.instances as f64
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
 }
 
 /// Renders the three ablation sweeps as the tables the `ablations` binary
@@ -235,6 +306,30 @@ mod tests {
         });
         assert!(text.contains("uniform lookahead"));
         assert!(text.contains("decay 0.7"));
+    }
+
+    #[test]
+    fn analytics_table_renders_rates_and_curves() {
+        use crate::analytics::ShardSummary;
+        let mut summary = ShardSummary::empty(&[ToolKind::LightSabre, ToolKind::Tket]);
+        summary.add_instance(5, &[Some(5), Some(9)]);
+        summary.add_instance(10, &[Some(14), None]);
+        let text = render_analytics(&AnalyticsReport {
+            device: DeviceKind::Grid3x3,
+            tool_seed: 7,
+            shards: 2,
+            summary,
+        });
+        assert!(text.contains("2 instances in 2 shards"));
+        assert!(text.contains("1 fully covered"));
+        assert!(text.contains("lightsabre"));
+        assert!(text.contains("tket"));
+        // lightsabre: (5 + 14) / (5 + 10) ≈ 1.27
+        assert!(text.contains("1.27x"));
+        // Scaling: lightsabre averages 5.00 at designed 5 and 14.00 at 10.
+        assert!(text.contains("5:5.00"));
+        assert!(text.contains("10:14.00"));
+        assert!(text.contains("gap histogram"));
     }
 
     #[test]

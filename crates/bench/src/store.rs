@@ -1,11 +1,14 @@
-//! The persistent benchmark-suite store: a suite as an on-disk corpus plus a
-//! content-addressed result cache.
+//! The persistent benchmark-suite store: a suite as a sharded on-disk corpus
+//! plus a content-addressed result cache.
 //!
 //! A stored suite directory looks like:
 //!
 //! ```text
 //! suite/
-//! ├── manifest.json                    # SuiteManifest: config, seeds, hashes
+//! ├── manifest.json                    # RootIndex: config + per-shard hashes
+//! ├── shards/
+//! │   ├── shard_00000.json             # ShardManifest: instance records
+//! │   └── shard_00001.json
 //! ├── aspen-4_swaps5_inst0.qasm        # one OpenQASM file per instance
 //! ├── aspen-4_swaps5_inst0.json        # metadata sidecar for external tools
 //! ├── ...
@@ -15,15 +18,35 @@
 //! ```
 //!
 //! The QASM files are the interop boundary — the exact artifact handed to
-//! Qiskit, t|ket⟩ or QMAP — and the manifest makes the directory a
-//! *verifiable* corpus: every instance records the seed it was generated
-//! from, its designed SWAP count, and the content hash of its QASM text.
-//! [`SuiteStore::load`] turns the directory back into the
-//! `Vec<ExperimentPoint>` the pipelines consume, and it distrusts the disk
-//! on principle: each file's bytes must match the manifest hash, must parse
+//! Qiskit, t|ket⟩ or QMAP — and the manifests make the directory a
+//! *verifiable* corpus: the root index records each shard manifest's content
+//! hash, and each shard manifest records, per instance, the seed it was
+//! generated from, its designed SWAP count, and the content hash of its QASM
+//! text. Loading distrusts the disk on principle: shard bytes must match the
+//! root hash, each file's bytes must match the shard hash, must parse
 //! through [`parse_qasm`], and the parsed circuit must equal the circuit
 //! regenerated from the recorded seed — a full round-trip proof that what
 //! external tools read is what the generator certified.
+//!
+//! **Streaming.** Consumers never hold more than one shard of
+//! [`ExperimentPoint`]s resident: [`SuiteStore::load_shard`] returns a
+//! [`LoadedShard`] whose lifetime is tracked by a per-store residency
+//! counter, so tests can *assert* the flat-memory claim
+//! ([`SuiteStore::residency_peak`]). The evaluation, optimality, and
+//! analytics pipelines stream shard-by-shard on top of this.
+//!
+//! **Resume.** Long operations (export, verify) keep a completed-shards
+//! ledger next to the root index (`export.ledger.json`,
+//! `verify.ledger.json`). The ledger records a fingerprint of the operation's
+//! inputs; an interrupted run restarted with the same inputs skips every
+//! ledgered shard, and a run with different inputs ignores the stale ledger.
+//! The ledger is deleted when the operation completes, and because shard
+//! contents are pure functions of the config, a resumed export produces a
+//! root index byte-identical to an uninterrupted one.
+//!
+//! A legacy (format 1) monolithic `manifest.json` opens transparently as a
+//! single-shard corpus — every streaming consumer works unchanged, with the
+//! whole suite as shard 0.
 //!
 //! The `results/` cache keys each stored outcome by
 //! ([`JobKey`]: tool namespace, circuit content hash), so re-running an
@@ -33,16 +56,28 @@
 //! half-written entry behind.
 
 use qubikos::{
-    content_hash, generate, generate_suite, ExperimentPoint, GenerateError, GeneratorConfig,
-    InstanceRecord, SuiteConfig, SuiteManifest, MANIFEST_FILE, MANIFEST_FORMAT,
+    content_hash, generate, generate_suite, shard_file_name, shard_spans, ExperimentPoint,
+    GenerateError, GeneratorConfig, InstanceRecord, RootIndex, ShardManifest, ShardRecord,
+    SuiteConfig, SuiteManifest, DEFAULT_SHARD_SIZE, MANIFEST_FILE, MANIFEST_FORMAT, SHARD_DIR,
+    V1_MANIFEST_FORMAT,
 };
 use qubikos_arch::DeviceKind;
 use qubikos_circuit::{parse_qasm, to_qasm};
 use qubikos_engine::{Engine, JobKey, NullSink, ProgressSink};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
+use std::ops::Deref;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// File name of the export resume ledger, next to the root index.
+pub const EXPORT_LEDGER_FILE: &str = "export.ledger.json";
+
+/// File name of the verification resume ledger, next to the root index.
+pub const VERIFY_LEDGER_FILE: &str = "verify.ledger.json";
 
 /// Everything that can go wrong exporting, opening, verifying, or loading a
 /// stored suite.
@@ -55,21 +90,24 @@ pub enum StoreError {
         /// Rendered `std::io::Error`.
         message: String,
     },
-    /// `manifest.json` (or a cache entry) did not deserialize.
+    /// `manifest.json`, a shard manifest, or a cache entry did not
+    /// deserialize.
     Malformed {
         /// Path of the offending file.
         path: String,
         /// What went wrong.
         message: String,
     },
-    /// The manifest's schema version is not the one this build understands.
+    /// The manifest's schema version is not one this build understands.
     FormatVersion {
         /// Version found in the manifest.
         found: u32,
     },
-    /// An instance file's bytes do not match the manifest's content hash.
+    /// A file's bytes do not match the recorded content hash (an instance
+    /// file against its shard manifest, or a shard manifest against the root
+    /// index).
     HashMismatch {
-        /// The instance file.
+        /// The offending file.
         file: String,
         /// Hash recorded in the manifest.
         expected: String,
@@ -92,6 +130,13 @@ pub enum StoreError {
     },
     /// Regenerating an instance from its recorded seed failed.
     Generate(GenerateError),
+    /// Verification finished and found failing instances. Unlike the
+    /// per-instance variants above, this carries **every** failure, each
+    /// with its shard and instance context.
+    VerifyFailed {
+        /// All failing instances, in (shard, instance) order.
+        failures: Vec<VerifyFailure>,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -103,7 +148,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::FormatVersion { found } => write!(
                 f,
-                "manifest format {found} is not supported (expected {MANIFEST_FORMAT})"
+                "manifest format {found} is not supported (expected {MANIFEST_FORMAT} or {V1_MANIFEST_FORMAT})"
             ),
             StoreError::HashMismatch {
                 file,
@@ -121,6 +166,13 @@ impl fmt::Display for StoreError {
                 "stored QASM {file} parses to a different circuit than its recorded seed regenerates"
             ),
             StoreError::Generate(error) => write!(f, "regeneration failed: {error}"),
+            StoreError::VerifyFailed { failures } => {
+                writeln!(f, "verification failed for {} instance(s):", failures.len())?;
+                for failure in failures {
+                    writeln!(f, "  {failure}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -140,6 +192,34 @@ fn io_error(path: &Path, error: &std::io::Error) -> StoreError {
     }
 }
 
+/// One failing instance found by [`SuiteStore::verify_streaming`], with the
+/// shard and in-shard index needed to locate it in a sharded corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyFailure {
+    /// Shard the failure was found in.
+    pub shard: usize,
+    /// Index of the instance within its shard, or `None` when the shard
+    /// manifest itself failed (unreadable, corrupt, or hash-mismatched).
+    pub instance: Option<usize>,
+    /// The offending file (instance QASM, or the shard manifest).
+    pub file: String,
+    /// Rendered cause.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.instance {
+            Some(instance) => write!(
+                f,
+                "shard {} instance {}: {}: {}",
+                self.shard, instance, self.file, self.message
+            ),
+            None => write!(f, "shard {}: {}: {}", self.shard, self.file, self.message),
+        }
+    }
+}
+
 /// Outcome of [`SuiteStore::verify`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VerifyOutcome {
@@ -147,31 +227,384 @@ pub struct VerifyOutcome {
     pub instances: usize,
 }
 
+/// Outcome of [`SuiteStore::verify_streaming`]: counts plus **all** failures
+/// found, instead of bailing on the first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Instances checked this run (excludes ledger-skipped shards).
+    pub instances: usize,
+    /// Shards checked this run.
+    pub shards_checked: usize,
+    /// Shards skipped because a previous run already verified them (resume
+    /// ledger hits).
+    pub shards_resumed: usize,
+    /// Every failing instance, in (shard, instance) order.
+    pub failures: Vec<VerifyFailure>,
+    /// Whether the whole corpus has now been covered (false when the run was
+    /// truncated by `stop_after_shards`).
+    pub complete: bool,
+}
+
+/// Options for [`SuiteStore::export_with_options`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportOptions {
+    /// Instances per shard ([`DEFAULT_SHARD_SIZE`] by default).
+    pub shard_size: usize,
+    /// Stop (as if interrupted) after writing this many *new* shards. Test
+    /// and CI hook for exercising shard-granularity resume; `None` runs to
+    /// completion.
+    pub stop_after_shards: Option<usize>,
+}
+
+impl Default for ExportOptions {
+    fn default() -> Self {
+        ExportOptions {
+            shard_size: DEFAULT_SHARD_SIZE,
+            stop_after_shards: None,
+        }
+    }
+}
+
+impl ExportOptions {
+    /// Sets the number of instances per shard (clamped to at least 1).
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// Simulates an interrupt after `shards` newly written shards.
+    pub fn with_stop_after_shards(mut self, shards: usize) -> Self {
+        self.stop_after_shards = Some(shards);
+        self
+    }
+}
+
+/// Outcome of [`SuiteStore::export_with_options`].
+#[derive(Debug)]
+pub struct ExportOutcome {
+    /// The opened store, or `None` when the run stopped early
+    /// (`stop_after_shards`) before the root index could be written.
+    pub store: Option<SuiteStore>,
+    /// Shards generated and written by this run.
+    pub shards_written: usize,
+    /// Shards skipped because the resume ledger already had them.
+    pub shards_resumed: usize,
+    /// Total shards the corpus partitions into.
+    pub shards_total: usize,
+}
+
+/// The per-operation resume ledger stored next to the root index: which
+/// shards a previous (interrupted) run already completed, fingerprinted by
+/// the operation's inputs so a changed config invalidates it wholesale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ShardLedger {
+    operation: String,
+    fingerprint: String,
+    completed: Vec<usize>,
+}
+
+fn read_ledger(path: &Path, operation: &str, fingerprint: &str) -> BTreeSet<usize> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeSet::new();
+    };
+    let Ok(ledger) = serde_json::from_str::<ShardLedger>(&text) else {
+        return BTreeSet::new();
+    };
+    if ledger.operation != operation || ledger.fingerprint != fingerprint {
+        return BTreeSet::new();
+    }
+    ledger.completed.into_iter().collect()
+}
+
+fn write_ledger(
+    path: &Path,
+    operation: &str,
+    fingerprint: &str,
+    completed: &BTreeSet<usize>,
+) -> Result<(), StoreError> {
+    let ledger = ShardLedger {
+        operation: operation.to_string(),
+        fingerprint: fingerprint.to_string(),
+        completed: completed.iter().copied().collect(),
+    };
+    let json = serde_json::to_string_pretty(&ledger).map_err(|e| StoreError::Malformed {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    write_atomic(path, &json)
+}
+
+/// Per-store shard-residency bookkeeping: how many shards of
+/// `ExperimentPoint`s are materialized right now, and the high-water mark.
+/// This is what lets tests *assert* the streaming pipelines' flat-memory
+/// claim instead of trusting it.
+#[derive(Debug, Default)]
+struct Residency {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl Residency {
+    fn acquire(self: &Arc<Self>) -> ResidencyGuard {
+        let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+        ResidencyGuard {
+            residency: Arc::clone(self),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ResidencyGuard {
+    residency: Arc<Residency>,
+}
+
+impl Drop for ResidencyGuard {
+    fn drop(&mut self) {
+        self.residency.current.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One shard's worth of verified [`ExperimentPoint`]s, counted against the
+/// store's residency tracker for as long as it lives. Derefs to the slice of
+/// points.
+#[derive(Debug)]
+pub struct LoadedShard {
+    shard: usize,
+    points: Vec<ExperimentPoint>,
+    _guard: ResidencyGuard,
+}
+
+impl LoadedShard {
+    /// Index of the shard within the suite.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The shard's verified points, in flat grid order.
+    pub fn points(&self) -> &[ExperimentPoint] {
+        &self.points
+    }
+
+    /// Consumes the shard into its points. The residency guard drops here,
+    /// so callers that keep the points alive (e.g. the materializing
+    /// [`SuiteStore::load`]) take themselves out of the flat-memory
+    /// accounting on purpose.
+    pub fn into_points(self) -> Vec<ExperimentPoint> {
+        self.points
+    }
+}
+
+impl Deref for LoadedShard {
+    type Target = [ExperimentPoint];
+
+    fn deref(&self) -> &[ExperimentPoint] {
+        &self.points
+    }
+}
+
 /// A suite directory opened for reading (and result caching).
 #[derive(Debug, Clone)]
 pub struct SuiteStore {
     root: PathBuf,
-    manifest: SuiteManifest,
+    index: RootIndex,
+    /// Present when the directory held a legacy monolithic manifest: the
+    /// instance records live inline (there is no shard file to read).
+    v1_instances: Option<Arc<Vec<InstanceRecord>>>,
+    residency: Arc<Residency>,
 }
 
 impl SuiteStore {
     /// Generates the suite described by `(device, config)` and writes it to
-    /// `root` as `manifest.json` + one QASM file (plus a JSON metadata
-    /// sidecar for external tools) per instance. Existing files are
-    /// overwritten; an existing result cache under `root/results` is left
-    /// untouched (entries are content-addressed, so stale ones are simply
-    /// never hit).
+    /// `root` as a sharded corpus: `manifest.json` (the root index), one
+    /// shard manifest per [`ExportOptions::shard_size`] instances under
+    /// `shards/`, and one QASM file (plus a JSON metadata sidecar for
+    /// external tools) per instance. Existing files are overwritten; an
+    /// existing result cache under `root/results` is left untouched (entries
+    /// are content-addressed, so stale ones are simply never hit).
     ///
-    /// Generation and writing run on the execution engine — one job per
-    /// instance, order-independent thanks to
+    /// Shards are generated and written in parallel on the execution engine
+    /// — one job per shard, order-independent thanks to
     /// [`SuiteConfig::instance_seed`] — so exporting a large corpus
-    /// parallelizes while the manifest stays byte-identical to a sequential
-    /// export.
+    /// parallelizes while the root index stays byte-identical to a
+    /// sequential export. Each completed shard is recorded in a resume
+    /// ledger ([`EXPORT_LEDGER_FILE`]); an interrupted export rerun with the
+    /// same inputs regenerates only the missing shards and still produces a
+    /// byte-identical root index. The ledger is removed on completion.
     ///
     /// # Errors
     ///
     /// [`StoreError::Generate`] on suite misconfiguration, [`StoreError::Io`]
     /// on filesystem failures.
+    pub fn export_with_options(
+        root: impl Into<PathBuf>,
+        device: DeviceKind,
+        config: &SuiteConfig,
+        options: &ExportOptions,
+        threads: usize,
+        sink: &dyn ProgressSink,
+    ) -> Result<ExportOutcome, StoreError> {
+        let root = root.into();
+        let arch = device.build();
+        std::fs::create_dir_all(root.join(SHARD_DIR)).map_err(|e| io_error(&root, &e))?;
+
+        let spans = shard_spans(config.total_circuits(), options.shard_size);
+        let shards_total = spans.len();
+        let fingerprint = export_fingerprint(device, config, options.shard_size);
+        let ledger_path = root.join(EXPORT_LEDGER_FILE);
+        let completed = read_ledger(&ledger_path, "export", &fingerprint);
+
+        // A ledgered shard only counts as resumed if its manifest is still
+        // readable; anything missing or corrupt is silently regenerated.
+        let mut resumed: Vec<(usize, ShardRecord)> = Vec::new();
+        let mut pending: Vec<usize> = Vec::new();
+        for shard in 0..shards_total {
+            match completed
+                .contains(&shard)
+                .then(|| read_shard_record(&root, shard))
+            {
+                Some(Ok(record)) => resumed.push((shard, record)),
+                _ => pending.push(shard),
+            }
+        }
+        let shards_resumed = resumed.len();
+        let truncated = options
+            .stop_after_shards
+            .is_some_and(|limit| pending.len() > limit);
+        if let Some(limit) = options.stop_after_shards {
+            pending.truncate(limit);
+        }
+
+        let ledger = Mutex::new(
+            resumed
+                .iter()
+                .map(|(shard, _)| *shard)
+                .collect::<BTreeSet<_>>(),
+        );
+        let engine = Engine::new(threads).with_base_seed(config.base_seed);
+        let written = engine.run_values(
+            &pending,
+            |_worker| (),
+            |(), _ctx, &shard| -> Result<(usize, ShardRecord), StoreError> {
+                let mut records = Vec::with_capacity(spans[shard].len());
+                for flat in spans[shard].clone() {
+                    let (count_index, instance) = config.instance_coordinates(flat);
+                    let swap_count = config.swap_counts[count_index];
+                    let seed = config.instance_seed(count_index, instance);
+                    let gen_config =
+                        GeneratorConfig::new(swap_count, config.two_qubit_gates).with_seed(seed);
+                    let benchmark = generate(&arch, &gen_config)?;
+                    let point = ExperimentPoint {
+                        swap_count,
+                        instance,
+                        seed,
+                        benchmark,
+                    };
+                    let record = InstanceRecord::describe(device, &point);
+                    let qasm_path = root.join(&record.file);
+                    write_atomic(&qasm_path, &to_qasm(point.benchmark.circuit()))?;
+                    let sidecar = serde_json::json!({
+                        "architecture": point.benchmark.architecture(),
+                        "optimal_swaps": point.benchmark.optimal_swaps(),
+                        "two_qubit_gates": record.two_qubit_gates,
+                        "seed": seed,
+                        "content_hash": record.content_hash,
+                        "optimal_initial_mapping": point.benchmark.reference_mapping().as_slice(),
+                    });
+                    let sidecar_path = qasm_path.with_extension("json");
+                    let json = serde_json::to_string_pretty(&sidecar).map_err(|e| {
+                        StoreError::Malformed {
+                            path: sidecar_path.display().to_string(),
+                            message: e.to_string(),
+                        }
+                    })?;
+                    write_atomic(&sidecar_path, &json)?;
+                    records.push(record);
+                }
+                let manifest = ShardManifest {
+                    shard,
+                    instances: records,
+                };
+                let file = shard_file_name(shard);
+                let path = root.join(&file);
+                let json =
+                    serde_json::to_string_pretty(&manifest).map_err(|e| StoreError::Malformed {
+                        path: path.display().to_string(),
+                        message: e.to_string(),
+                    })?;
+                write_atomic(&path, &json)?;
+                let record = ShardRecord {
+                    shard,
+                    file,
+                    instances: manifest.instances.len(),
+                    content_hash: content_hash(&json),
+                };
+                // Mark the shard done in the resume ledger the moment its
+                // manifest is on disk, so an interrupt right after this
+                // write still resumes past it.
+                {
+                    let mut done = ledger.lock().expect("ledger mutex");
+                    done.insert(shard);
+                    write_ledger(&ledger_path, "export", &fingerprint, &done)?;
+                }
+                Ok((shard, record))
+            },
+            sink,
+        );
+        let written = written
+            .unwrap_or_else(|error| panic!("suite export aborted: {error}"))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        let shards_written = written.len();
+
+        if truncated {
+            return Ok(ExportOutcome {
+                store: None,
+                shards_written,
+                shards_resumed,
+                shards_total,
+            });
+        }
+
+        let mut shard_records: Vec<(usize, ShardRecord)> = resumed;
+        shard_records.extend(written);
+        shard_records.sort_by_key(|(shard, _)| *shard);
+        let index = RootIndex {
+            format: MANIFEST_FORMAT,
+            device,
+            config: config.clone(),
+            shard_size: options.shard_size,
+            shards: shard_records
+                .into_iter()
+                .map(|(_, record)| record)
+                .collect(),
+        };
+        let manifest_path = root.join(MANIFEST_FILE);
+        let json = serde_json::to_string_pretty(&index).map_err(|e| StoreError::Malformed {
+            path: manifest_path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        write_atomic(&manifest_path, &json)?;
+        let _ = std::fs::remove_file(&ledger_path);
+        Ok(ExportOutcome {
+            store: Some(SuiteStore {
+                root,
+                index,
+                v1_instances: None,
+                residency: Arc::new(Residency::default()),
+            }),
+            shards_written,
+            shards_resumed,
+            shards_total,
+        })
+    }
+
+    /// [`export_with_options`](Self::export_with_options) with the default
+    /// shard size and no early stop, returning the opened store.
+    ///
+    /// # Errors
+    ///
+    /// As [`export_with_options`](Self::export_with_options).
     pub fn export(
         root: impl Into<PathBuf>,
         device: DeviceKind,
@@ -179,79 +612,23 @@ impl SuiteStore {
         threads: usize,
         sink: &dyn ProgressSink,
     ) -> Result<SuiteStore, StoreError> {
-        let root = root.into();
-        let arch = device.build();
-        std::fs::create_dir_all(&root).map_err(|e| io_error(&root, &e))?;
-
-        let jobs: Vec<(usize, usize)> = config
-            .swap_counts
-            .iter()
-            .enumerate()
-            .flat_map(|(count_index, _)| {
-                (0..config.circuits_per_count).map(move |instance| (count_index, instance))
-            })
-            .collect();
-        let engine = Engine::new(threads).with_base_seed(config.base_seed);
-        let records = engine.run_values(
-            &jobs,
-            |_worker| (),
-            |(), _ctx, &(count_index, instance)| -> Result<InstanceRecord, StoreError> {
-                let swap_count = config.swap_counts[count_index];
-                let seed = config.instance_seed(count_index, instance);
-                let gen_config =
-                    GeneratorConfig::new(swap_count, config.two_qubit_gates).with_seed(seed);
-                let benchmark = generate(&arch, &gen_config)?;
-                let point = ExperimentPoint {
-                    swap_count,
-                    instance,
-                    seed,
-                    benchmark,
-                };
-                let record = InstanceRecord::describe(device, &point);
-                let qasm_path = root.join(&record.file);
-                write_atomic(&qasm_path, &to_qasm(point.benchmark.circuit()))?;
-                let sidecar = serde_json::json!({
-                    "architecture": point.benchmark.architecture(),
-                    "optimal_swaps": point.benchmark.optimal_swaps(),
-                    "two_qubit_gates": record.two_qubit_gates,
-                    "seed": seed,
-                    "content_hash": record.content_hash,
-                    "optimal_initial_mapping": point.benchmark.reference_mapping().as_slice(),
-                });
-                let sidecar_path = qasm_path.with_extension("json");
-                let json =
-                    serde_json::to_string_pretty(&sidecar).map_err(|e| StoreError::Malformed {
-                        path: sidecar_path.display().to_string(),
-                        message: e.to_string(),
-                    })?;
-                write_atomic(&sidecar_path, &json)?;
-                Ok(record)
-            },
-            sink,
-        );
-        let records = records
-            .unwrap_or_else(|error| panic!("suite export aborted: {error}"))
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()?;
-
-        let manifest = SuiteManifest {
-            format: MANIFEST_FORMAT,
+        let outcome = Self::export_with_options(
+            root,
             device,
-            config: config.clone(),
-            instances: records,
-        };
-        let manifest_path = root.join(MANIFEST_FILE);
-        let json = serde_json::to_string_pretty(&manifest).map_err(|e| StoreError::Malformed {
-            path: manifest_path.display().to_string(),
-            message: e.to_string(),
-        })?;
-        write_atomic(&manifest_path, &json)?;
-        Ok(SuiteStore { root, manifest })
+            config,
+            &ExportOptions::default(),
+            threads,
+            sink,
+        )?;
+        Ok(outcome
+            .store
+            .expect("export without stop_after_shards always completes"))
     }
 
-    /// Opens an existing suite directory by reading its manifest. No
-    /// instance files are touched until [`load`](Self::load) or
-    /// [`verify`](Self::verify).
+    /// Opens an existing suite directory by reading its manifest. A format-2
+    /// root index opens as-is; a legacy format-1 monolithic manifest opens
+    /// transparently as a single-shard corpus. No instance files are touched
+    /// until a shard is loaded or verified.
     ///
     /// # Errors
     ///
@@ -263,17 +640,54 @@ impl SuiteStore {
         let manifest_path = root.join(MANIFEST_FILE);
         let text =
             std::fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, &e))?;
-        let manifest: SuiteManifest =
-            serde_json::from_str(&text).map_err(|e| StoreError::Malformed {
-                path: manifest_path.display().to_string(),
-                message: e.to_string(),
-            })?;
-        if manifest.format != MANIFEST_FORMAT {
-            return Err(StoreError::FormatVersion {
-                found: manifest.format,
-            });
+        let malformed = |message: String| StoreError::Malformed {
+            path: manifest_path.display().to_string(),
+            message,
+        };
+        let value: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| malformed(e.to_string()))?;
+        let format = value
+            .object_field("format")
+            .and_then(u32::deserialize_value)
+            .map_err(|e| malformed(e.to_string()))?;
+        match format {
+            MANIFEST_FORMAT => {
+                let index =
+                    RootIndex::deserialize_value(&value).map_err(|e| malformed(e.to_string()))?;
+                Ok(SuiteStore {
+                    root,
+                    index,
+                    v1_instances: None,
+                    residency: Arc::new(Residency::default()),
+                })
+            }
+            V1_MANIFEST_FORMAT => {
+                let manifest = SuiteManifest::deserialize_value(&value)
+                    .map_err(|e| malformed(e.to_string()))?;
+                // The monolithic manifest *is* the single shard: the root
+                // record points at manifest.json itself, hash included, so
+                // the integrity chain holds end to end for v1 corpora too.
+                let index = RootIndex {
+                    format: V1_MANIFEST_FORMAT,
+                    device: manifest.device,
+                    config: manifest.config,
+                    shard_size: manifest.instances.len().max(1),
+                    shards: vec![ShardRecord {
+                        shard: 0,
+                        file: MANIFEST_FILE.to_string(),
+                        instances: manifest.instances.len(),
+                        content_hash: content_hash(&text),
+                    }],
+                };
+                Ok(SuiteStore {
+                    root,
+                    index,
+                    v1_instances: Some(Arc::new(manifest.instances)),
+                    residency: Arc::new(Residency::default()),
+                })
+            }
+            found => Err(StoreError::FormatVersion { found }),
         }
-        Ok(SuiteStore { root, manifest })
     }
 
     /// The suite directory.
@@ -281,90 +695,317 @@ impl SuiteStore {
         &self.root
     }
 
-    /// The manifest read at [`open`](Self::open) (or written by
-    /// [`export`](Self::export)).
-    pub fn manifest(&self) -> &SuiteManifest {
-        &self.manifest
+    /// The root index read at [`open`](Self::open) (or written by
+    /// [`export`](Self::export)). For a legacy corpus this is the
+    /// synthesized single-shard view.
+    pub fn index(&self) -> &RootIndex {
+        &self.index
     }
 
     /// Device the stored suite targets.
     pub fn device(&self) -> DeviceKind {
-        self.manifest.device
+        self.index.device
     }
 
-    /// Loads the stored suite back into the experiment points the pipelines
-    /// consume, verifying every instance on the way: the file's bytes must
-    /// match the manifest hash, parse as the supported QASM subset, and
-    /// equal the circuit regenerated from the recorded seed. The returned
-    /// points (including certificates and reference solutions) are therefore
-    /// bit-identical to what [`generate_suite`] produces for the manifest's
-    /// config.
+    /// The configuration the suite was generated from.
+    pub fn config(&self) -> &SuiteConfig {
+        &self.index.config
+    }
+
+    /// Number of shards the corpus partitions into.
+    pub fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
+    /// Total instances across all shards.
+    pub fn total_instances(&self) -> usize {
+        self.index.total_instances()
+    }
+
+    /// High-water mark of concurrently resident loaded shards since the
+    /// store was opened (or since [`reset_residency_peak`]). The streaming
+    /// pipelines' flat-memory claim is exactly `residency_peak() <= 1`.
+    ///
+    /// [`reset_residency_peak`]: Self::reset_residency_peak
+    pub fn residency_peak(&self) -> usize {
+        self.residency.peak.load(Ordering::SeqCst)
+    }
+
+    /// Resets the residency high-water mark (to the current residency).
+    pub fn reset_residency_peak(&self) {
+        self.residency.peak.store(
+            self.residency.current.load(Ordering::SeqCst),
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Reads shard `shard`'s instance records, verifying the shard
+    /// manifest's bytes against the root index hash. For a legacy corpus the
+    /// records come from the in-memory manifest.
     ///
     /// # Errors
     ///
-    /// The first (in manifest order) [`StoreError`] found.
-    pub fn load(&self) -> Result<Vec<ExperimentPoint>, StoreError> {
-        let arch = self.manifest.device.build();
-        self.manifest
-            .instances
+    /// [`StoreError::Io`]/[`StoreError::Malformed`]/[`StoreError::HashMismatch`]
+    /// on unreadable, corrupt, or tampered shard manifests.
+    pub fn shard_records(&self, shard: usize) -> Result<Vec<InstanceRecord>, StoreError> {
+        if let Some(instances) = &self.v1_instances {
+            assert_eq!(shard, 0, "legacy corpus has exactly one shard");
+            return Ok(instances.as_ref().clone());
+        }
+        let record = &self.index.shards[shard];
+        let path = self.root.join(&record.file);
+        let text = std::fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
+        let found = content_hash(&text);
+        if found != record.content_hash {
+            return Err(StoreError::HashMismatch {
+                file: record.file.clone(),
+                expected: record.content_hash.clone(),
+                found,
+            });
+        }
+        let manifest: ShardManifest =
+            serde_json::from_str(&text).map_err(|e| StoreError::Malformed {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        if manifest.shard != shard {
+            return Err(StoreError::Malformed {
+                path: path.display().to_string(),
+                message: format!(
+                    "shard manifest claims shard {}, expected {shard}",
+                    manifest.shard
+                ),
+            });
+        }
+        Ok(manifest.instances)
+    }
+
+    /// Loads one shard back into verified experiment points: each file's
+    /// bytes must match the shard hash, parse as the supported QASM subset,
+    /// and equal the circuit regenerated from the recorded seed. The
+    /// returned points (including certificates and reference solutions) are
+    /// therefore bit-identical to the corresponding slice of what
+    /// [`generate_suite`] produces for the index's config.
+    ///
+    /// The returned [`LoadedShard`] counts against
+    /// [`residency_peak`](Self::residency_peak) until dropped.
+    ///
+    /// # Errors
+    ///
+    /// The first (in shard order) [`StoreError`] found.
+    pub fn load_shard(&self, shard: usize) -> Result<LoadedShard, StoreError> {
+        let records = self.shard_records(shard)?;
+        let guard = self.residency.acquire();
+        let arch = self.index.device.build();
+        let points = records
             .iter()
-            .map(|record| {
-                let gen_config =
-                    GeneratorConfig::new(record.swap_count, self.manifest.config.two_qubit_gates)
-                        .with_seed(record.seed);
-                let benchmark = generate(&arch, &gen_config)?;
-                let path = self.root.join(&record.file);
-                let text = std::fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
-                let found = content_hash(&text);
-                if found != record.content_hash {
-                    return Err(StoreError::HashMismatch {
-                        file: record.file.clone(),
-                        expected: record.content_hash.clone(),
-                        found,
-                    });
-                }
-                let parsed = parse_qasm(&text).map_err(|e| StoreError::Qasm {
-                    file: record.file.clone(),
-                    message: e.to_string(),
-                })?;
-                if &parsed != benchmark.circuit() {
-                    return Err(StoreError::RoundTripMismatch {
-                        file: record.file.clone(),
-                    });
-                }
-                Ok(ExperimentPoint {
-                    swap_count: record.swap_count,
-                    instance: record.instance,
-                    seed: record.seed,
-                    benchmark,
-                })
-            })
-            .collect()
-    }
-
-    /// Verifies every instance (hash, parse, regeneration round trip)
-    /// without keeping the circuits.
-    ///
-    /// # Errors
-    ///
-    /// As [`load`](Self::load).
-    pub fn verify(&self) -> Result<VerifyOutcome, StoreError> {
-        let points = self.load()?;
-        Ok(VerifyOutcome {
-            instances: points.len(),
+            .map(|record| self.check_instance(&arch, record))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LoadedShard {
+            shard,
+            points,
+            _guard: guard,
         })
     }
 
-    /// Convenience: generates the manifest's suite in memory (no disk reads
-    /// beyond the already-loaded manifest). Used by tests comparing stored
+    /// Verifies one instance record and returns its point: hash check,
+    /// parse, and regeneration round trip.
+    fn check_instance(
+        &self,
+        arch: &qubikos_arch::Architecture,
+        record: &InstanceRecord,
+    ) -> Result<ExperimentPoint, StoreError> {
+        let gen_config = GeneratorConfig::new(record.swap_count, self.index.config.two_qubit_gates)
+            .with_seed(record.seed);
+        let benchmark = generate(arch, &gen_config)?;
+        let path = self.root.join(&record.file);
+        let text = std::fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
+        let found = content_hash(&text);
+        if found != record.content_hash {
+            return Err(StoreError::HashMismatch {
+                file: record.file.clone(),
+                expected: record.content_hash.clone(),
+                found,
+            });
+        }
+        let parsed = parse_qasm(&text).map_err(|e| StoreError::Qasm {
+            file: record.file.clone(),
+            message: e.to_string(),
+        })?;
+        if &parsed != benchmark.circuit() {
+            return Err(StoreError::RoundTripMismatch {
+                file: record.file.clone(),
+            });
+        }
+        Ok(ExperimentPoint {
+            swap_count: record.swap_count,
+            instance: record.instance,
+            seed: record.seed,
+            benchmark,
+        })
+    }
+
+    /// Materializes the whole corpus as one `Vec`, shard by shard, with the
+    /// same per-instance verification as [`load_shard`](Self::load_shard).
+    /// Convenience for small suites and tests; the streaming pipelines never
+    /// call this.
+    ///
+    /// # Errors
+    ///
+    /// The first (in shard order) [`StoreError`] found.
+    pub fn load(&self) -> Result<Vec<ExperimentPoint>, StoreError> {
+        let mut points = Vec::with_capacity(self.total_instances());
+        for shard in 0..self.shard_count() {
+            points.extend(self.load_shard(shard)?.into_points());
+        }
+        Ok(points)
+    }
+
+    /// Verifies every instance (hash, parse, regeneration round trip)
+    /// without keeping the circuits, streaming shard by shard on the engine
+    /// — one job per shard, so verification of a large corpus parallelizes
+    /// with flat memory. Unlike [`verify`](Self::verify) this reports
+    /// **all** failing instances (with shard + index context) instead of
+    /// bailing on the first mismatch.
+    ///
+    /// Clean shards are recorded in a resume ledger ([`VERIFY_LEDGER_FILE`]);
+    /// an interrupted verification rerun skips them. The ledger is removed
+    /// when a run covers the whole corpus cleanly. `stop_after_shards`
+    /// truncates the run after that many shards (the CI interrupt hook).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the ledger cannot be written. Per-instance
+    /// problems are *not* errors here — they land in
+    /// [`VerifyReport::failures`].
+    pub fn verify_streaming(
+        &self,
+        threads: usize,
+        stop_after_shards: Option<usize>,
+        sink: &dyn ProgressSink,
+    ) -> Result<VerifyReport, StoreError> {
+        let fingerprint = self.verify_fingerprint();
+        let ledger_path = self.root.join(VERIFY_LEDGER_FILE);
+        let completed = read_ledger(&ledger_path, "verify", &fingerprint);
+        let mut pending: Vec<usize> = (0..self.shard_count())
+            .filter(|s| !completed.contains(s))
+            .collect();
+        let shards_resumed = self.shard_count() - pending.len();
+        let truncated = stop_after_shards.is_some_and(|limit| pending.len() > limit);
+        if let Some(limit) = stop_after_shards {
+            pending.truncate(limit);
+        }
+
+        let arch = self.index.device.build();
+        let ledger = Mutex::new(completed);
+        let engine = Engine::new(threads).with_base_seed(self.index.config.base_seed);
+        let checked = engine.run_values(
+            &pending,
+            |_worker| (),
+            |(), _ctx, &shard| -> Result<(usize, Vec<VerifyFailure>), StoreError> {
+                let records = match self.shard_records(shard) {
+                    Ok(records) => records,
+                    Err(error) => {
+                        let file = self
+                            .index
+                            .shards
+                            .get(shard)
+                            .map_or_else(|| shard_file_name(shard), |r| r.file.clone());
+                        return Ok((
+                            0,
+                            vec![VerifyFailure {
+                                shard,
+                                instance: None,
+                                file,
+                                message: error.to_string(),
+                            }],
+                        ));
+                    }
+                };
+                let mut failures = Vec::new();
+                for (instance, record) in records.iter().enumerate() {
+                    if let Err(error) = self.check_instance(&arch, record) {
+                        failures.push(VerifyFailure {
+                            shard,
+                            instance: Some(instance),
+                            file: record.file.clone(),
+                            message: error.to_string(),
+                        });
+                    }
+                }
+                if failures.is_empty() {
+                    let mut done = ledger.lock().expect("ledger mutex");
+                    done.insert(shard);
+                    write_ledger(&ledger_path, "verify", &fingerprint, &done)?;
+                }
+                Ok((records.len(), failures))
+            },
+            sink,
+        );
+        let checked = checked
+            .unwrap_or_else(|error| panic!("suite verification aborted: {error}"))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut instances = 0;
+        let mut failures = Vec::new();
+        for (count, mut shard_failures) in checked {
+            instances += count;
+            failures.append(&mut shard_failures);
+        }
+        let complete = !truncated;
+        if complete && failures.is_empty() {
+            let _ = std::fs::remove_file(&ledger_path);
+        }
+        Ok(VerifyReport {
+            instances,
+            shards_checked: pending.len(),
+            shards_resumed,
+            failures,
+            complete,
+        })
+    }
+
+    /// Single-threaded full verification, erroring when anything fails. Kept
+    /// for callers that want the old all-or-nothing contract; the error now
+    /// carries **every** failure ([`StoreError::VerifyFailed`]), not just
+    /// the first. Ignores and does not touch the resume ledger semantics
+    /// beyond [`verify_streaming`](Self::verify_streaming)'s.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VerifyFailed`] listing all failing instances;
+    /// [`StoreError::Io`] on ledger write failures.
+    pub fn verify(&self) -> Result<VerifyOutcome, StoreError> {
+        let report = self.verify_streaming(1, None, &NullSink)?;
+        if report.failures.is_empty() {
+            Ok(VerifyOutcome {
+                instances: report.instances,
+            })
+        } else {
+            Err(StoreError::VerifyFailed {
+                failures: report.failures,
+            })
+        }
+    }
+
+    /// Fingerprint binding a verification ledger to this exact corpus (the
+    /// serialized root index covers device, config, shard size, and every
+    /// shard hash).
+    fn verify_fingerprint(&self) -> String {
+        content_hash(&serde_json::to_string(&self.index).expect("index serializes"))
+    }
+
+    /// Convenience: generates the index's suite in memory (no disk reads
+    /// beyond the already-loaded root index). Used by tests comparing stored
     /// and in-memory pipelines.
     ///
     /// # Errors
     ///
     /// Propagates [`GenerateError`] as [`StoreError::Generate`].
     pub fn regenerate(&self) -> Result<Vec<ExperimentPoint>, StoreError> {
-        let arch = self.manifest.device.build();
-        Ok(generate_suite(&arch, &self.manifest.config)?)
+        let arch = self.index.device.build();
+        Ok(generate_suite(&arch, &self.index.config)?)
     }
 
     // ---- result cache -----------------------------------------------------
@@ -402,6 +1043,45 @@ impl SuiteStore {
         })?;
         write_atomic(&path, &json)
     }
+}
+
+/// Fingerprint binding an export ledger to its inputs: same device, config,
+/// and shard size ⇒ same shard contents, so completed shards are reusable.
+fn export_fingerprint(device: DeviceKind, config: &SuiteConfig, shard_size: usize) -> String {
+    let inputs = serde_json::json!({
+        "device": device,
+        "config": config,
+        "shard_size": shard_size,
+    });
+    content_hash(&serde_json::to_string(&inputs).expect("fingerprint serializes"))
+}
+
+/// Re-derives the root-index record of an already-written shard manifest
+/// from its bytes on disk (resume path).
+fn read_shard_record(root: &Path, shard: usize) -> Result<ShardRecord, StoreError> {
+    let file = shard_file_name(shard);
+    let path = root.join(&file);
+    let text = std::fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
+    let manifest: ShardManifest =
+        serde_json::from_str(&text).map_err(|e| StoreError::Malformed {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+    if manifest.shard != shard {
+        return Err(StoreError::Malformed {
+            path: path.display().to_string(),
+            message: format!(
+                "shard manifest claims shard {}, expected {shard}",
+                manifest.shard
+            ),
+        });
+    }
+    Ok(ShardRecord {
+        shard,
+        file,
+        instances: manifest.instances.len(),
+        content_hash: content_hash(&text),
+    })
 }
 
 /// Writes `text` to `path` via a sibling temp file + rename, so readers (and
@@ -477,10 +1157,11 @@ mod tests {
         let dir = TempDir::new("round-trip");
         let config = tiny_config();
         let store = export_suite(&dir.0, DeviceKind::Grid3x3, &config, 2).expect("export");
-        assert_eq!(store.manifest().instances.len(), 4);
+        assert_eq!(store.total_instances(), 4);
+        assert_eq!(store.shard_count(), 1, "4 instances fit one default shard");
 
         let reopened = SuiteStore::open(&dir.0).expect("open");
-        assert_eq!(reopened.manifest(), store.manifest());
+        assert_eq!(reopened.index(), store.index());
         let loaded = reopened.load().expect("load verifies");
         let generated =
             generate_suite(&DeviceKind::Grid3x3.build(), &config).expect("in-memory suite");
@@ -491,34 +1172,131 @@ mod tests {
     }
 
     #[test]
+    fn sharded_export_partitions_and_round_trips() {
+        let dir = TempDir::new("sharded");
+        let config = tiny_config();
+        let outcome = SuiteStore::export_with_options(
+            &dir.0,
+            DeviceKind::Grid3x3,
+            &config,
+            &ExportOptions::default().with_shard_size(3),
+            2,
+            &NullSink,
+        )
+        .expect("export");
+        assert_eq!(outcome.shards_total, 2);
+        assert_eq!(outcome.shards_written, 2);
+        assert_eq!(outcome.shards_resumed, 0);
+        let store = outcome.store.expect("completed");
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(store.index().shards[0].instances, 3);
+        assert_eq!(store.index().shards[1].instances, 1);
+        assert!(dir.0.join(shard_file_name(0)).is_file());
+        assert!(!dir.0.join(EXPORT_LEDGER_FILE).exists());
+
+        let loaded = store.load().expect("load verifies");
+        let generated =
+            generate_suite(&DeviceKind::Grid3x3.build(), &config).expect("in-memory suite");
+        assert_eq!(
+            loaded, generated,
+            "shard boundaries must not reorder points"
+        );
+    }
+
+    #[test]
     fn export_is_thread_count_invariant() {
         let dir_a = TempDir::new("threads-1");
         let dir_b = TempDir::new("threads-8");
         let config = tiny_config();
-        export_suite(&dir_a.0, DeviceKind::Grid3x3, &config, 1).expect("export 1");
-        export_suite(&dir_b.0, DeviceKind::Grid3x3, &config, 8).expect("export 8");
+        let options = ExportOptions::default().with_shard_size(1);
+        SuiteStore::export_with_options(
+            &dir_a.0,
+            DeviceKind::Grid3x3,
+            &config,
+            &options,
+            1,
+            &NullSink,
+        )
+        .expect("export 1");
+        SuiteStore::export_with_options(
+            &dir_b.0,
+            DeviceKind::Grid3x3,
+            &config,
+            &options,
+            8,
+            &NullSink,
+        )
+        .expect("export 8");
         let a = std::fs::read_to_string(dir_a.0.join(MANIFEST_FILE)).expect("manifest a");
         let b = std::fs::read_to_string(dir_b.0.join(MANIFEST_FILE)).expect("manifest b");
-        assert_eq!(a, b, "manifest must not depend on export thread count");
+        assert_eq!(a, b, "root index must not depend on export thread count");
+        for shard in 0..4 {
+            let a = std::fs::read_to_string(dir_a.0.join(shard_file_name(shard))).expect("shard a");
+            let b = std::fs::read_to_string(dir_b.0.join(shard_file_name(shard))).expect("shard b");
+            assert_eq!(a, b, "shard {shard} must not depend on export thread count");
+        }
     }
 
     #[test]
-    fn verify_detects_tampered_instances() {
+    fn verify_reports_all_tampered_instances() {
         let dir = TempDir::new("tamper");
-        let store = export_suite(&dir.0, DeviceKind::Grid3x3, &tiny_config(), AUTO_THREADS)
-            .expect("export");
+        let config = tiny_config();
+        let store = SuiteStore::export_with_options(
+            &dir.0,
+            DeviceKind::Grid3x3,
+            &config,
+            &ExportOptions::default().with_shard_size(2),
+            AUTO_THREADS,
+            &NullSink,
+        )
+        .expect("export")
+        .store
+        .expect("completed");
         assert_eq!(store.verify().expect("clean verify").instances, 4);
 
-        // Appending a gate changes the bytes: the hash check must fire.
-        let victim = dir.0.join(&store.manifest().instances[0].file);
-        let mut text = std::fs::read_to_string(&victim).expect("read");
-        text.push_str("h q[0];\n");
-        std::fs::write(&victim, text).expect("tamper");
-        match SuiteStore::open(&dir.0).expect("open").verify() {
-            Err(StoreError::HashMismatch { file, .. }) => {
-                assert_eq!(file, store.manifest().instances[0].file);
+        // Tamper with one instance in each shard: verification must report
+        // both, with shard + index context, instead of bailing on the first.
+        let shard0 = store.shard_records(0).expect("shard 0");
+        let shard1 = store.shard_records(1).expect("shard 1");
+        for record in [&shard0[0], &shard1[1]] {
+            let victim = dir.0.join(&record.file);
+            let mut text = std::fs::read_to_string(&victim).expect("read");
+            text.push_str("h q[0];\n");
+            std::fs::write(&victim, text).expect("tamper");
+        }
+        let store = SuiteStore::open(&dir.0).expect("open");
+        match store.verify() {
+            Err(StoreError::VerifyFailed { failures }) => {
+                assert_eq!(failures.len(), 2, "both tampered instances reported");
+                assert_eq!(failures[0].shard, 0);
+                assert_eq!(failures[0].instance, Some(0));
+                assert_eq!(failures[0].file, shard0[0].file);
+                assert!(failures[0].message.contains("hash mismatch"));
+                assert_eq!(failures[1].shard, 1);
+                assert_eq!(failures[1].instance, Some(1));
+                assert_eq!(failures[1].file, shard1[1].file);
             }
-            other => panic!("expected hash mismatch, got {other:?}"),
+            other => panic!("expected VerifyFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_detects_tampered_shard_manifest() {
+        let dir = TempDir::new("shard-tamper");
+        let store = export_suite(&dir.0, DeviceKind::Grid3x3, &tiny_config(), 1).expect("export");
+        let path = dir.0.join(shard_file_name(0));
+        let mut text = std::fs::read_to_string(&path).expect("read shard");
+        text.push(' ');
+        std::fs::write(&path, text).expect("tamper shard");
+        let store = SuiteStore::open(store.root()).expect("open");
+        match store.verify() {
+            Err(StoreError::VerifyFailed { failures }) => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].shard, 0);
+                assert_eq!(failures[0].instance, None);
+                assert!(failures[0].message.contains("hash mismatch"));
+            }
+            other => panic!("expected VerifyFailed, got {other:?}"),
         }
     }
 
@@ -526,16 +1304,25 @@ mod tests {
     fn load_rejects_unparseable_instances() {
         let dir = TempDir::new("unparseable");
         let store = export_suite(&dir.0, DeviceKind::Grid3x3, &tiny_config(), 1).expect("export");
-        // Rewrite an instance with garbage *and* a matching manifest hash, so
-        // the parse failure (not the hash check) is what fires.
-        let record = store.manifest().instances[1].clone();
+        // Rewrite an instance with garbage *and* matching hashes all the way
+        // up the chain, so the parse failure (not a hash check) is what
+        // fires.
+        let records = store.shard_records(0).expect("records");
+        let record = records[1].clone();
         let garbage = "OPENQASM 2.0;\nqreg q[9];\nccz q[0], q[1], q[2];\n";
         std::fs::write(dir.0.join(&record.file), garbage).expect("write");
-        let mut manifest = store.manifest().clone();
+        let mut manifest = ShardManifest {
+            shard: 0,
+            instances: records,
+        };
         manifest.instances[1].content_hash = content_hash(garbage);
+        let shard_json = serde_json::to_string_pretty(&manifest).expect("serialize");
+        std::fs::write(dir.0.join(shard_file_name(0)), &shard_json).expect("write shard");
+        let mut index = store.index().clone();
+        index.shards[0].content_hash = content_hash(&shard_json);
         std::fs::write(
             dir.0.join(MANIFEST_FILE),
-            serde_json::to_string_pretty(&manifest).expect("serialize"),
+            serde_json::to_string_pretty(&index).expect("serialize"),
         )
         .expect("write manifest");
         match SuiteStore::open(&dir.0).expect("open").load() {
@@ -548,11 +1335,11 @@ mod tests {
     fn open_rejects_unknown_format_versions() {
         let dir = TempDir::new("format");
         let store = export_suite(&dir.0, DeviceKind::Grid3x3, &tiny_config(), 1).expect("export");
-        let mut manifest = store.manifest().clone();
-        manifest.format = MANIFEST_FORMAT + 1;
+        let mut index = store.index().clone();
+        index.format = MANIFEST_FORMAT + 1;
         std::fs::write(
             dir.0.join(MANIFEST_FILE),
-            serde_json::to_string_pretty(&manifest).expect("serialize"),
+            serde_json::to_string_pretty(&index).expect("serialize"),
         )
         .expect("write manifest");
         assert_eq!(
@@ -561,6 +1348,40 @@ mod tests {
                 found: MANIFEST_FORMAT + 1
             }
         );
+    }
+
+    #[test]
+    fn residency_counts_loaded_shards() {
+        let dir = TempDir::new("residency");
+        let store = SuiteStore::export_with_options(
+            &dir.0,
+            DeviceKind::Grid3x3,
+            &tiny_config(),
+            &ExportOptions::default().with_shard_size(2),
+            1,
+            &NullSink,
+        )
+        .expect("export")
+        .store
+        .expect("completed");
+        assert_eq!(store.residency_peak(), 0);
+        {
+            let _one = store.load_shard(0).expect("shard 0");
+            assert_eq!(store.residency_peak(), 1);
+            {
+                let _two = store.load_shard(1).expect("shard 1");
+                assert_eq!(store.residency_peak(), 2);
+            }
+        }
+        store.reset_residency_peak();
+        assert_eq!(store.residency_peak(), 0);
+        // Streaming one shard at a time keeps the peak at 1.
+        for shard in 0..store.shard_count() {
+            let loaded = store.load_shard(shard).expect("shard");
+            assert_eq!(loaded.shard(), shard);
+            assert_eq!(loaded.points().len(), 2);
+        }
+        assert_eq!(store.residency_peak(), 1);
     }
 
     #[test]

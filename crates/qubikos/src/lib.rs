@@ -59,7 +59,9 @@ pub use benchmark::{QubikosCircuit, Section};
 pub use certificate::{verify_certificate, CertificateError};
 pub use generator::{generate, GenerateError, GeneratorConfig};
 pub use manifest::{
-    content_hash, instance_file_name, InstanceRecord, SuiteManifest, MANIFEST_FILE, MANIFEST_FORMAT,
+    content_hash, instance_file_name, shard_file_name, shard_spans, InstanceRecord, RootIndex,
+    ShardManifest, ShardRecord, SuiteManifest, DEFAULT_SHARD_SIZE, MANIFEST_FILE, MANIFEST_FORMAT,
+    SHARD_DIR, V1_MANIFEST_FORMAT,
 };
 pub use queko::{generate_queko, QuekoCircuit, QuekoConfig, QuekoError};
 pub use suite::{generate_suite, ExperimentPoint, SuiteConfig};

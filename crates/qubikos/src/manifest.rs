@@ -2,14 +2,27 @@
 //! persistent, verifiable corpus instead of something regenerated inside
 //! every binary on every run.
 //!
-//! A stored suite is a directory of one OpenQASM file per instance plus a
-//! single `manifest.json` describing the whole grid: the [`SuiteConfig`] it
-//! was generated from, the device, and one [`InstanceRecord`] per circuit
-//! carrying the instance's derived seed, its designed (optimal) SWAP count,
-//! its file name, and the **content hash** of its QASM text. The hash is the
-//! suite's integrity anchor: loaders refuse silently-edited circuits, and
-//! the result cache keys evaluated routings by it (`results/<tool>/<hash>`),
-//! so a re-run only routes circuits whose bytes it has never seen.
+//! Since format 2 a stored suite is **sharded**: `manifest.json` is a small
+//! [`RootIndex`] naming the device, the [`SuiteConfig`], and one
+//! [`ShardRecord`] per shard manifest under `shards/`. Each shard manifest
+//! ([`ShardManifest`]) carries the [`InstanceRecord`]s of a contiguous slice
+//! of the suite grid, and the root index records the **content hash of the
+//! shard manifest's bytes**, extending the integrity chain root → shard →
+//! instance: loaders refuse silently-edited shard manifests exactly as they
+//! refuse edited circuits. Keeping the root index O(shards) instead of
+//! O(instances) is what lets a million-instance corpus open, stream, and
+//! resume without ever materializing more than one shard of records.
+//!
+//! Format 1 (one monolithic [`SuiteManifest`] holding every record) is still
+//! read transparently as a single-shard corpus; the schema type is kept here
+//! for that loader and for fixtures.
+//!
+//! Per-instance fields are unchanged: each [`InstanceRecord`] carries the
+//! instance's derived seed, its designed (optimal) SWAP count, its file
+//! name, and the content hash of its QASM text. The hash is the suite's
+//! integrity anchor: loaders refuse silently-edited circuits, and the result
+//! cache keys evaluated routings by it (`results/<tool>/<hash>`), so a
+//! re-run only routes circuits whose bytes it has never seen.
 //!
 //! This module owns only the schema and the hash; all filesystem traffic
 //! lives in `qubikos_bench::store`.
@@ -20,11 +33,26 @@ use qubikos_circuit::to_qasm;
 use serde::{Deserialize, Serialize};
 
 /// Version of the on-disk manifest schema. Bumped on incompatible changes so
-/// loaders can fail with a clear message instead of a field error.
-pub const MANIFEST_FORMAT: u32 = 1;
+/// loaders can fail with a clear message instead of a field error. Format 2
+/// is the sharded layout; format 1 (monolithic) is still readable.
+pub const MANIFEST_FORMAT: u32 = 2;
 
-/// Name of the manifest file inside a suite directory.
+/// The legacy monolithic manifest format, read transparently as a
+/// single-shard corpus.
+pub const V1_MANIFEST_FORMAT: u32 = 1;
+
+/// Name of the manifest file (the root index since format 2) inside a suite
+/// directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Subdirectory of a suite holding the shard manifests.
+pub const SHARD_DIR: &str = "shards";
+
+/// Default number of instances per shard. Large enough that shard-manifest
+/// overhead is negligible, small enough that one resident shard of
+/// `ExperimentPoint`s stays far below any laptop's memory on every supported
+/// device.
+pub const DEFAULT_SHARD_SIZE: usize = 256;
 
 /// One instance of a stored suite.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,10 +73,12 @@ pub struct InstanceRecord {
     pub content_hash: String,
 }
 
-/// The `manifest.json` of a stored suite.
+/// The legacy (format 1) monolithic `manifest.json` of a stored suite: every
+/// instance record inline. Still written by nothing, still read by
+/// everything — the store opens a v1 manifest as a single-shard corpus.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SuiteManifest {
-    /// Schema version ([`MANIFEST_FORMAT`]).
+    /// Schema version ([`V1_MANIFEST_FORMAT`]).
     pub format: u32,
     /// Device the suite was generated for.
     pub device: DeviceKind,
@@ -60,16 +90,17 @@ pub struct SuiteManifest {
 }
 
 impl SuiteManifest {
-    /// Builds the manifest describing `points` (as produced by
+    /// Builds the (v1-shaped) manifest describing `points` (as produced by
     /// [`crate::generate_suite`] for `config` on `device`), computing each
-    /// instance's file name and QASM content hash.
+    /// instance's file name and QASM content hash. Used by fixtures and the
+    /// back-compat tests; new exports write the sharded layout.
     pub fn describe(device: DeviceKind, config: &SuiteConfig, points: &[ExperimentPoint]) -> Self {
         let instances = points
             .iter()
             .map(|point| InstanceRecord::describe(device, point))
             .collect();
         SuiteManifest {
-            format: MANIFEST_FORMAT,
+            format: V1_MANIFEST_FORMAT,
             device,
             config: config.clone(),
             instances,
@@ -82,6 +113,82 @@ impl SuiteManifest {
             .iter()
             .find(|r| r.swap_count == swap_count && r.instance == instance)
     }
+}
+
+/// One shard's entry in the [`RootIndex`]: where the shard manifest lives,
+/// how many instances it holds, and the content hash of its bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// Index of the shard within the suite (shards partition the flat grid
+    /// order into contiguous slices).
+    pub shard: usize,
+    /// Path of the shard manifest, relative to the suite directory.
+    pub file: String,
+    /// Number of instances the shard holds.
+    pub instances: usize,
+    /// Content hash of the shard manifest's bytes (see [`content_hash`]) —
+    /// the root-to-shard link of the integrity chain.
+    pub content_hash: String,
+}
+
+/// The format-2 `manifest.json`: a small root index over the shard
+/// manifests. O(shards), never O(instances), so opening a million-instance
+/// corpus reads kilobytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RootIndex {
+    /// Schema version ([`MANIFEST_FORMAT`]).
+    pub format: u32,
+    /// Device the suite was generated for.
+    pub device: DeviceKind,
+    /// The configuration the suite was generated from.
+    pub config: SuiteConfig,
+    /// Number of instances per shard (the last shard may hold fewer).
+    pub shard_size: usize,
+    /// One record per shard manifest, in shard order.
+    pub shards: Vec<ShardRecord>,
+}
+
+impl RootIndex {
+    /// Total instances across all shards.
+    pub fn total_instances(&self) -> usize {
+        self.shards.iter().map(|s| s.instances).sum()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// One shard manifest under `shards/`: the instance records of a contiguous
+/// slice of the suite grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// Index of the shard within the suite.
+    pub shard: usize,
+    /// The shard's instance records, in flat grid order.
+    pub instances: Vec<InstanceRecord>,
+}
+
+/// Canonical file name of shard `shard` within a suite directory.
+pub fn shard_file_name(shard: usize) -> String {
+    format!("{SHARD_DIR}/shard_{shard:05}.json")
+}
+
+/// Partitions `total` instances (in flat grid order) into contiguous shard
+/// spans of at most `shard_size` instances each.
+///
+/// # Panics
+///
+/// Panics if `shard_size` is zero while `total` is not.
+pub fn shard_spans(total: usize, shard_size: usize) -> Vec<std::ops::Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    assert!(shard_size > 0, "shard size must be positive");
+    (0..total.div_ceil(shard_size))
+        .map(|shard| shard * shard_size..((shard + 1) * shard_size).min(total))
+        .collect()
 }
 
 impl InstanceRecord {
@@ -161,7 +268,7 @@ mod tests {
     fn describe_covers_every_instance() {
         let (config, points) = tiny_suite();
         let manifest = SuiteManifest::describe(DeviceKind::Grid3x3, &config, &points);
-        assert_eq!(manifest.format, MANIFEST_FORMAT);
+        assert_eq!(manifest.format, V1_MANIFEST_FORMAT);
         assert_eq!(manifest.instances.len(), 4);
         assert_eq!(manifest.config, config);
         for (record, point) in manifest.instances.iter().zip(&points) {
@@ -200,5 +307,64 @@ mod tests {
             instance_file_name(DeviceKind::Aspen4, 5, 3),
             "aspen-4_swaps5_inst3.qasm"
         );
+        assert_eq!(shard_file_name(0), "shards/shard_00000.json");
+        assert_eq!(shard_file_name(12345), "shards/shard_12345.json");
+    }
+
+    #[test]
+    fn shard_spans_partition_the_grid() {
+        assert!(shard_spans(0, 4).is_empty());
+        assert_eq!(shard_spans(1, 4), vec![0..1]);
+        assert_eq!(shard_spans(8, 4), vec![0..4, 4..8]);
+        assert_eq!(shard_spans(9, 4), vec![0..4, 4..8, 8..9]);
+        // Spans are contiguous and exhaustive for a grab bag of shapes.
+        for (total, size) in [(1, 1), (7, 3), (100, 7), (256, 256), (257, 256)] {
+            let spans = shard_spans(total, size);
+            let mut next = 0;
+            for span in &spans {
+                assert_eq!(span.start, next);
+                assert!(span.len() <= size);
+                assert!(!span.is_empty());
+                next = span.end;
+            }
+            assert_eq!(next, total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size must be positive")]
+    fn shard_spans_reject_zero_size() {
+        shard_spans(5, 0);
+    }
+
+    #[test]
+    fn root_index_round_trips_and_counts() {
+        let (config, points) = tiny_suite();
+        let manifest = SuiteManifest::describe(DeviceKind::Grid3x3, &config, &points);
+        let shard = ShardManifest {
+            shard: 0,
+            instances: manifest.instances.clone(),
+        };
+        let shard_json = serde_json::to_string(&shard).expect("serialize shard");
+        let back_shard: ShardManifest = serde_json::from_str(&shard_json).expect("shard back");
+        assert_eq!(back_shard, shard);
+
+        let index = RootIndex {
+            format: MANIFEST_FORMAT,
+            device: DeviceKind::Grid3x3,
+            config,
+            shard_size: 4,
+            shards: vec![ShardRecord {
+                shard: 0,
+                file: shard_file_name(0),
+                instances: shard.instances.len(),
+                content_hash: content_hash(&shard_json),
+            }],
+        };
+        assert_eq!(index.total_instances(), 4);
+        assert_eq!(index.shard_count(), 1);
+        let json = serde_json::to_string(&index).expect("serialize index");
+        let back: RootIndex = serde_json::from_str(&json).expect("index back");
+        assert_eq!(back, index);
     }
 }

@@ -79,6 +79,27 @@ impl SuiteConfig {
             .wrapping_mul(1_000_003)
             .wrapping_add((count_index * self.circuits_per_count + instance) as u64)
     }
+
+    /// Inverse of the flat (count-major) grid order used by
+    /// [`generate_suite`]: maps a flat instance index back to
+    /// `(count_index, instance)`. Shard exporters use this to generate an
+    /// arbitrary contiguous slice of the suite without walking the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of range for the suite
+    /// (`flat >= total_circuits()`).
+    pub fn instance_coordinates(&self, flat: usize) -> (usize, usize) {
+        assert!(
+            flat < self.total_circuits(),
+            "flat index {flat} out of range for a {}-circuit suite",
+            self.total_circuits()
+        );
+        (
+            flat / self.circuits_per_count,
+            flat % self.circuits_per_count,
+        )
+    }
 }
 
 /// One generated instance along with the grid coordinates it was generated
@@ -180,6 +201,40 @@ mod tests {
         let a = generate_suite(&arch, &config).expect("generates");
         let b = generate_suite(&arch, &config).expect("generates");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instance_coordinates_invert_the_flat_order() {
+        let config = SuiteConfig {
+            swap_counts: vec![1, 2, 5],
+            circuits_per_count: 4,
+            two_qubit_gates: 20,
+            base_seed: 3,
+        };
+        let mut flat = 0;
+        for count_index in 0..config.swap_counts.len() {
+            for instance in 0..config.circuits_per_count {
+                assert_eq!(config.instance_coordinates(flat), (count_index, instance));
+                assert_eq!(
+                    config.instance_seed(count_index, instance),
+                    config.instance_seed(config.instance_coordinates(flat).0, instance)
+                );
+                flat += 1;
+            }
+        }
+        assert_eq!(flat, config.total_circuits());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn instance_coordinates_reject_out_of_range() {
+        let config = SuiteConfig {
+            swap_counts: vec![1],
+            circuits_per_count: 2,
+            two_qubit_gates: 20,
+            base_seed: 3,
+        };
+        config.instance_coordinates(2);
     }
 
     #[test]
