@@ -19,7 +19,7 @@
 //! comparison.
 
 use crate::evaluation::{cell_gap, CachedRouting, DEFAULT_TOOL_SEED};
-use crate::store::{StoreError, SuiteStore};
+use crate::store::{CacheStatsSnapshot, StoreError, SuiteStore};
 use qubikos::InstanceRecord;
 use qubikos_arch::DeviceKind;
 use qubikos_engine::{Engine, JobKey, NullSink, ProgressSink, AUTO_THREADS};
@@ -259,6 +259,13 @@ pub struct AnalyticsReport {
     pub tool_seed: u64,
     /// Shards folded.
     pub shards: usize,
+    /// Shards skipped because their manifest was persistently corrupt; the
+    /// offending file was moved to the store's `quarantine/` directory and
+    /// the summary covers the remaining shards.
+    pub shards_quarantined: usize,
+    /// The store's cache counters over this pass (hits, misses, and corrupt
+    /// entries quarantined while reading the routing cache).
+    pub cache: CacheStatsSnapshot,
     /// The merged accumulators.
     pub summary: ShardSummary,
 }
@@ -293,9 +300,14 @@ fn summarize_records(
 ///
 /// # Errors
 ///
-/// Propagates [`StoreError`] from reading shard manifests. A missing or
-/// corrupt cache *entry* is not an error — the instance counts as
-/// uncovered for that tool.
+/// Propagates [`StoreError`] from reading shard manifests, except that a
+/// *persistently corrupt* manifest (reads are retried first) is quarantined
+/// and its shard skipped — counted in
+/// [`AnalyticsReport::shards_quarantined`] — so one bad shard degrades the
+/// summary instead of failing the pass. A missing or corrupt cache *entry*
+/// is not an error — the instance counts as uncovered for that tool (a
+/// corrupt entry is additionally quarantined and counted in
+/// [`AnalyticsReport::cache`]).
 pub fn run_suite_analytics(
     store: &SuiteStore,
     config: &AnalyticsConfig,
@@ -315,6 +327,7 @@ pub fn run_suite_analytics_with_sink(
     sink: &dyn ProgressSink,
 ) -> Result<AnalyticsReport, StoreError> {
     let shards: Vec<usize> = (0..store.shard_count()).collect();
+    let cache_before = store.cache_stats();
     let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
     let summaries = engine
         .run_values(
@@ -326,21 +339,29 @@ pub fn run_suite_analytics_with_sink(
             },
             sink,
         )
-        .unwrap_or_else(|error| panic!("suite analytics aborted: {error}"))
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()?;
+        .unwrap_or_else(|error| panic!("suite analytics aborted: {error}"));
 
     // The engine returns summaries in shard order regardless of thread
     // count; merging left to right therefore produces identical bytes for
     // any parallelism (and merge itself is associative, proptest-pinned).
     let mut merged = ShardSummary::empty(&config.tools);
-    for summary in &summaries {
-        merged.merge(summary);
+    let mut shards_quarantined = 0;
+    for (&shard, summary) in shards.iter().zip(&summaries) {
+        match summary {
+            Ok(summary) => merged.merge(summary),
+            Err(error) if error.is_corruption() => {
+                store.quarantine_shard_error(shard, error);
+                shards_quarantined += 1;
+            }
+            Err(error) => return Err(error.clone()),
+        }
     }
     Ok(AnalyticsReport {
         device: store.device(),
         tool_seed: config.tool_seed,
         shards: shards.len(),
+        shards_quarantined,
+        cache: store.cache_stats().delta_since(&cache_before),
         summary: merged,
     })
 }

@@ -6,10 +6,17 @@
 //! raw argument list, so the `qubikos` multiplexer bin and the original
 //! single-purpose bins (`tool_evaluation`, `optimality_study`, …) share one
 //! implementation and one flag vocabulary (parsed with the
-//! [`crate::microbench`] helpers). Commands return a process exit code —
-//! `Ok(0)` success, `Ok(1)` a completed run that found failures (e.g.
-//! optimality verification failures, or `--require-cached` with a cold
-//! cache) — and `Err` for configuration/IO errors.
+//! [`crate::microbench`] helpers). Commands return a process exit code with
+//! one meaning per failure class, so scripts and CI can react without
+//! parsing stderr:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | [`EXIT_OK`] (0) | the run completed and every check passed |
+//! | [`EXIT_POLICY`] (1) | the run completed but violated a caller policy (e.g. `--require-cached` with a cold cache) |
+//! | [`EXIT_USAGE`] (2) | bad usage, configuration, or an I/O / store error (`Err` from a command) |
+//! | [`EXIT_VERIFY`] (3) | the run completed and found verification or optimality failures |
+//! | [`EXIT_TIMEOUT`] (4) | the run completed with no failures, but at least one job exceeded its wall-clock deadline |
 
 use crate::ablations::{run_ablations_with_sink, AblationConfig};
 use crate::analytics::{run_suite_analytics_with_sink, AnalyticsConfig};
@@ -32,8 +39,24 @@ use qubikos_engine::{
     threads_from_args, ProgressSink, StderrProgress, TeeSink, TimingSink, AUTO_THREADS,
 };
 
+/// Exit code: the run completed and every check passed.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: the run completed but violated a caller-supplied policy, such
+/// as `--require-cached` on a cache that had to route pairs fresh.
+pub const EXIT_POLICY: i32 = 1;
+/// Exit code: bad usage, bad configuration, or an I/O / store error — every
+/// `Err` a command returns maps here.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: the run completed and found verification or optimality
+/// failures (corrupt instances, uncertified circuits).
+pub const EXIT_VERIFY: i32 = 3;
+/// Exit code: the run completed with zero failures, but at least one job
+/// exceeded its per-job wall-clock deadline, so some circuits degraded to
+/// `unproven` instead of being exhaustively confirmed.
+pub const EXIT_TIMEOUT: i32 = 4;
+
 /// What a command hands back to `main`: a process exit code, or an error to
-/// render on stderr (exit code 2).
+/// render on stderr (exit code [`EXIT_USAGE`]).
 pub type CommandOutcome = Result<i32, Box<dyn std::error::Error>>;
 
 /// Renders a command outcome and exits the process accordingly.
@@ -42,8 +65,21 @@ pub fn exit_with(outcome: CommandOutcome) -> ! {
         Ok(code) => std::process::exit(code),
         Err(error) => {
             eprintln!("error: {error}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
+    }
+}
+
+/// Maps a completed report's failure and timeout counts to an exit code:
+/// failures dominate ([`EXIT_VERIFY`]), then timeouts ([`EXIT_TIMEOUT`]),
+/// then [`EXIT_OK`].
+fn report_exit_code(failures: usize, deadline_exceeded: usize) -> i32 {
+    if failures > 0 {
+        EXIT_VERIFY
+    } else if deadline_exceeded > 0 {
+        EXIT_TIMEOUT
+    } else {
+        EXIT_OK
     }
 }
 
@@ -55,7 +91,7 @@ pub fn exit_with(outcome: CommandOutcome) -> ! {
 pub fn dispatch(args: &[String]) -> CommandOutcome {
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
-        return Ok(2);
+        return Ok(EXIT_USAGE);
     };
     let rest = &args[1..];
     match command.as_str() {
@@ -64,7 +100,7 @@ pub fn dispatch(args: &[String]) -> CommandOutcome {
             Some("verify") => suite_verify_command(&rest[1..]),
             _ => {
                 eprintln!("qubikos suite: expected `export` or `verify`\n\n{USAGE}");
-                Ok(2)
+                Ok(EXIT_USAGE)
             }
         },
         "eval" => eval_command(rest),
@@ -74,11 +110,11 @@ pub fn dispatch(args: &[String]) -> CommandOutcome {
         "ablations" => ablations_command(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(0)
+            Ok(EXIT_OK)
         }
         other => {
             eprintln!("qubikos: unknown command `{other}`\n\n{USAGE}");
-            Ok(2)
+            Ok(EXIT_USAGE)
         }
     }
 }
@@ -116,15 +152,27 @@ USAGE:
       to in-memory runs (with --suite the manifest fixes both) and
       --timing-json records the jobs that actually ran.
   qubikos optimality [--full | --smoke] [--threads N] [--suite DIR]
+                     [--exact-deadline-ms N]
       §IV-A optimality study. With --suite, verifies the stored corpus,
       consulting/filling the results/optimality cache; --full/--smoke
       apply only to in-memory runs (the manifest fixes the suite shape).
+      --exact-deadline-ms caps each exact-solver job's wall clock: a circuit
+      that exceeds it degrades to `unproven` (still certified, not
+      exhaustively confirmed) instead of stalling the run, and the command
+      exits 4 when that happened with zero failures.
   qubikos case-study [--decay D] [--full] [--threads N]
       §IV-C LightSABRE lookahead case study.
   qubikos ablations [--threads N]
       Design ablation sweeps.
 
-DEV: grid | aspen4 | sycamore | rochester | eagle | osprey";
+DEV: grid | aspen4 | sycamore | rochester | eagle | osprey
+
+EXIT CODES:
+  0  success — the run completed and every check passed
+  1  policy  — completed, but a caller policy failed (--require-cached, cold cache)
+  2  usage   — bad flags/configuration, or an I/O / store error
+  3  verify  — completed, but verification or optimality failures were found
+  4  timeout — completed with no failures, but jobs exceeded their deadline";
 
 /// `qubikos suite export` / the `export_suite` bin.
 ///
@@ -267,7 +315,7 @@ pub fn suite_verify_command(args: &[String]) -> CommandOutcome {
             "ERROR: {} instances failed verification",
             report.failures.len()
         );
-        return Ok(1);
+        return Ok(EXIT_VERIFY);
     }
     if !report.complete {
         println!(
@@ -379,7 +427,7 @@ pub fn eval_command(args: &[String]) -> CommandOutcome {
                 "ERROR: --require-cached but {} pairs were routed fresh",
                 outcome.routed
             );
-            return Ok(1);
+            return Ok(EXIT_POLICY);
         }
         return Ok(0);
     }
@@ -453,7 +501,7 @@ pub fn eval_command(args: &[String]) -> CommandOutcome {
 pub fn optimality_command(args: &[String]) -> CommandOutcome {
     let full = flag_present(args, "--full");
     let smoke = flag_present(args, "--smoke");
-    let config = if full {
+    let mut config = if full {
         OptimalityConfig::paper()
     } else if smoke {
         OptimalityConfig::smoke()
@@ -461,6 +509,9 @@ pub fn optimality_command(args: &[String]) -> CommandOutcome {
         OptimalityConfig::quick()
     }
     .with_threads(threads_from_args(args).unwrap_or(AUTO_THREADS));
+    if let Some(millis) = numeric_flag(args, "--exact-deadline-ms")? {
+        config = config.with_exact_deadline(std::time::Duration::from_millis(millis as u64));
+    }
 
     if let Some(dir) = suite_flag(args)? {
         // The presets differ only in suite shape and devices — exactly the
@@ -493,9 +544,11 @@ pub fn optimality_command(args: &[String]) -> CommandOutcome {
                 "ERROR: {} circuits failed verification",
                 outcome.report.failures
             );
-            return Ok(1);
         }
-        return Ok(0);
+        return Ok(report_exit_code(
+            outcome.report.failures,
+            outcome.report.deadline_exceeded,
+        ));
     }
 
     eprintln!(
@@ -508,9 +561,8 @@ pub fn optimality_command(args: &[String]) -> CommandOutcome {
     print!("{}", render_optimality(&report));
     if report.failures > 0 {
         eprintln!("ERROR: {} circuits failed verification", report.failures);
-        return Ok(1);
     }
-    Ok(0)
+    Ok(report_exit_code(report.failures, report.deadline_exceeded))
 }
 
 /// `qubikos case-study` / the `sabre_case_study` bin.
@@ -632,6 +684,44 @@ mod tests {
         assert!(suite_export_command(&args(&["--shard-size", "0"])).is_err());
         assert!(suite_export_command(&args(&["--max-shards", "-1"])).is_err());
         assert!(suite_verify_command(&args(&["--suite", "x", "--max-shards", "two"])).is_err());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_failure_class() {
+        // The documented contract: every class gets its own code, failures
+        // dominate timeouts, and a clean report maps to success.
+        assert_eq!(report_exit_code(0, 0), EXIT_OK);
+        assert_eq!(report_exit_code(0, 3), EXIT_TIMEOUT);
+        assert_eq!(report_exit_code(2, 0), EXIT_VERIFY);
+        assert_eq!(report_exit_code(2, 3), EXIT_VERIFY);
+        let codes = [EXIT_OK, EXIT_POLICY, EXIT_USAGE, EXIT_VERIFY, EXIT_TIMEOUT];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn optimality_deadline_flag_rejects_garbage() {
+        assert!(optimality_command(&args(&["--smoke", "--exact-deadline-ms", "soon"])).is_err());
+        assert!(optimality_command(&args(&["--smoke", "--exact-deadline-ms"])).is_err());
+    }
+
+    #[test]
+    fn zero_deadline_smoke_run_exits_with_the_timeout_code() {
+        // A zero wall-clock budget forces every exact query to degrade to
+        // `unproven`: no failures, every job timed out — the documented
+        // exit-4 case, reachable end to end through the real command path.
+        let code = optimality_command(&args(&[
+            "--smoke",
+            "--threads",
+            "1",
+            "--exact-deadline-ms",
+            "0",
+        ]))
+        .expect("smoke run completes despite the zero deadline");
+        assert_eq!(code, EXIT_TIMEOUT);
     }
 
     #[test]

@@ -260,6 +260,10 @@ pub struct SuiteEvalOutcome {
     pub cache_hits: usize,
     /// Shards processed this run.
     pub shards: usize,
+    /// Shards skipped because their manifest or an instance file was
+    /// persistently corrupt; the offending file was moved to the store's
+    /// `quarantine/` directory and the report covers the remaining shards.
+    pub shards_quarantined: usize,
     /// Whether the whole corpus was covered (false when the run was
     /// truncated by `stop_after_shards` — the report then covers a prefix).
     pub complete: bool,
@@ -319,6 +323,12 @@ pub fn run_suite_evaluation_with_sink(
 /// already-processed shards entirely from cache — resume at shard
 /// granularity falls out of the cache semantics, no ledger needed.
 ///
+/// A shard whose manifest or instance files are *persistently* corrupt
+/// (reads are retried first) is quarantined and skipped rather than failing
+/// the run: the offending file moves to `quarantine/`, the skip is counted
+/// in [`SuiteEvalOutcome::shards_quarantined`], and the report covers the
+/// surviving shards. Plain I/O errors still propagate.
+///
 /// # Errors
 ///
 /// # Panics
@@ -339,91 +349,23 @@ pub fn run_suite_evaluation_partial(
     let mut fold = EvalFold::new(&config.tools, &swap_counts);
     let mut routed_total = 0;
     let mut cache_hits = 0;
+    let mut shards_quarantined = 0;
 
     for shard in 0..shards {
-        let records = store.shard_records(shard)?;
-        let jobs: Vec<(usize, usize)> = all_pairs(records.len(), config.tools.len());
-        let job_key = |&(tool_index, point_index): &(usize, usize)| {
-            JobKey::new(
-                config.tools[tool_index].name(),
-                &records[point_index].content_hash,
-            )
-        };
-
-        // Resolve the cache first: only misses become engine jobs.
-        let mut swaps: Vec<Option<usize>> = jobs
-            .iter()
-            .map(|job| {
-                let cached: CachedRouting = store.read_cached(&job_key(job))?;
-                // An entry produced under a different tool seed (or,
-                // defensively, for different bytes) answers a different
-                // question: miss.
-                (cached.tool_seed == config.tool_seed
-                    && cached.circuit_hash == records[job.1].content_hash)
-                    .then_some(cached.swaps)
-            })
-            .collect();
-        let misses: Vec<(usize, usize)> = jobs
-            .iter()
-            .zip(&swaps)
-            .filter(|(_, cached)| cached.is_none())
-            .map(|(&job, _)| job)
-            .collect();
-
-        if !misses.is_empty() {
-            // The shard's circuits are only materialized — and only this
-            // shard re-verified (hash, parse, regeneration round trip) —
-            // when there is fresh routing to do. Each result is persisted
-            // from inside its job: a run killed at 90% of a large corpus has
-            // already banked 90% of its work (`write_cached` is
-            // rename-atomic, so a kill mid-write costs only that one entry).
-            let loaded = store.load_shard(shard)?;
-            let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
-            let routed: Vec<usize> = engine
-                .run_values(
-                    &misses,
-                    |_worker| {
-                        config
-                            .tools
-                            .iter()
-                            .map(|&tool| tool.build(config.tool_seed))
-                            .collect::<Vec<_>>()
-                    },
-                    |routers, _ctx, job: &(usize, usize)| -> Result<usize, StoreError> {
-                        let swaps = route_and_count(routers[job.0].as_ref(), &loaded[job.1], &arch);
-                        store.write_cached(
-                            &job_key(job),
-                            &CachedRouting {
-                                tool: config.tools[job.0].name().to_string(),
-                                tool_seed: config.tool_seed,
-                                circuit_hash: records[job.1].content_hash.clone(),
-                                swaps,
-                            },
-                        )?;
-                        Ok(swaps)
-                    },
-                    sink,
-                )
-                .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"))
-                .into_iter()
-                .collect::<Result<_, _>>()?;
-
-            // Fill the gaps left by the cache misses.
-            let mut fresh = routed.iter();
-            for slot in swaps.iter_mut().filter(|slot| slot.is_none()) {
-                *slot = Some(*fresh.next().expect("one routed result per miss"));
+        match eval_shard(store, config, &arch, shard, sink) {
+            Ok((results, routed, hits)) => {
+                for (tool_index, designed, swaps) in results {
+                    fold.add(tool_index, designed, swaps);
+                }
+                routed_total += routed;
+                cache_hits += hits;
             }
+            Err(error) if error.is_corruption() => {
+                store.quarantine_shard_error(shard, &error);
+                shards_quarantined += 1;
+            }
+            Err(error) => return Err(error),
         }
-
-        for (&(tool_index, point_index), slot) in jobs.iter().zip(&swaps) {
-            fold.add(
-                tool_index,
-                records[point_index].swap_count,
-                slot.expect("every job resolved"),
-            );
-        }
-        routed_total += misses.len();
-        cache_hits += jobs.len() - misses.len();
     }
 
     Ok(SuiteEvalOutcome {
@@ -431,8 +373,110 @@ pub fn run_suite_evaluation_partial(
         routed: routed_total,
         cache_hits,
         shards,
+        shards_quarantined,
         complete: shards == store.shard_count(),
     })
+}
+
+/// Evaluates one shard: cache lookups, engine routing of the misses, cache
+/// writes. Returns `(tool_index, designed SWAP count, inserted SWAPs)` per
+/// (tool, instance) pair plus the routed/cache-hit counts — everything the
+/// caller's fold needs, so a corrupt shard can be dropped wholesale before
+/// anything is folded.
+#[allow(clippy::type_complexity)]
+fn eval_shard(
+    store: &SuiteStore,
+    config: &SuiteEvalConfig,
+    arch: &Architecture,
+    shard: usize,
+    sink: &dyn ProgressSink,
+) -> Result<(Vec<(usize, usize, usize)>, usize, usize), StoreError> {
+    let records = store.shard_records(shard)?;
+    let jobs: Vec<(usize, usize)> = all_pairs(records.len(), config.tools.len());
+    let job_key = |&(tool_index, point_index): &(usize, usize)| {
+        JobKey::new(
+            config.tools[tool_index].name(),
+            &records[point_index].content_hash,
+        )
+    };
+
+    // Resolve the cache first: only misses become engine jobs.
+    let mut swaps: Vec<Option<usize>> = jobs
+        .iter()
+        .map(|job| {
+            let cached: CachedRouting = store.read_cached(&job_key(job))?;
+            // An entry produced under a different tool seed (or,
+            // defensively, for different bytes) answers a different
+            // question: miss.
+            (cached.tool_seed == config.tool_seed
+                && cached.circuit_hash == records[job.1].content_hash)
+                .then_some(cached.swaps)
+        })
+        .collect();
+    let misses: Vec<(usize, usize)> = jobs
+        .iter()
+        .zip(&swaps)
+        .filter(|(_, cached)| cached.is_none())
+        .map(|(&job, _)| job)
+        .collect();
+
+    if !misses.is_empty() {
+        // The shard's circuits are only materialized — and only this
+        // shard re-verified (hash, parse, regeneration round trip) —
+        // when there is fresh routing to do. Each result is persisted
+        // from inside its job: a run killed at 90% of a large corpus has
+        // already banked 90% of its work (`write_cached` is
+        // rename-atomic, so a kill mid-write costs only that one entry).
+        let loaded = store.load_shard(shard)?;
+        let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
+        let routed: Vec<usize> = engine
+            .run_values(
+                &misses,
+                |_worker| {
+                    config
+                        .tools
+                        .iter()
+                        .map(|&tool| tool.build(config.tool_seed))
+                        .collect::<Vec<_>>()
+                },
+                |routers, _ctx, job: &(usize, usize)| -> Result<usize, StoreError> {
+                    let swaps = route_and_count(routers[job.0].as_ref(), &loaded[job.1], arch);
+                    store.write_cached(
+                        &job_key(job),
+                        &CachedRouting {
+                            tool: config.tools[job.0].name().to_string(),
+                            tool_seed: config.tool_seed,
+                            circuit_hash: records[job.1].content_hash.clone(),
+                            swaps,
+                        },
+                    )?;
+                    Ok(swaps)
+                },
+                sink,
+            )
+            .unwrap_or_else(|error| panic!("tool evaluation aborted: {error}"))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+
+        // Fill the gaps left by the cache misses.
+        let mut fresh = routed.iter();
+        for slot in swaps.iter_mut().filter(|slot| slot.is_none()) {
+            *slot = Some(*fresh.next().expect("one routed result per miss"));
+        }
+    }
+
+    let results = jobs
+        .iter()
+        .zip(&swaps)
+        .map(|(&(tool_index, point_index), slot)| {
+            (
+                tool_index,
+                records[point_index].swap_count,
+                slot.expect("every job resolved"),
+            )
+        })
+        .collect();
+    Ok((results, misses.len(), jobs.len() - misses.len()))
 }
 
 /// The point-major (tool, circuit) job list both pipelines share: all tools

@@ -42,6 +42,7 @@ pub mod microbench;
 pub mod optimality;
 pub mod report;
 pub mod store;
+pub mod vfs;
 
 pub use ablations::{run_ablations, AblationConfig, AblationPoint, AblationReport};
 pub use analytics::{
@@ -61,6 +62,10 @@ pub use optimality::{
     SuiteOptimalityOutcome,
 };
 pub use store::{
-    export_suite, ExportOptions, ExportOutcome, LoadedShard, StoreError, SuiteStore, VerifyFailure,
-    VerifyOutcome, VerifyReport, EXPORT_LEDGER_FILE, VERIFY_LEDGER_FILE,
+    export_suite, CacheStatsSnapshot, ExportOptions, ExportOutcome, LoadedShard, QuarantineEntry,
+    QuarantineReport, StoreError, SuiteStore, VerifyFailure, VerifyOutcome, VerifyReport,
+    EXPORT_LEDGER_FILE, QUARANTINE_DIR, QUARANTINE_REPORT_FILE, VERIFY_LEDGER_FILE,
+};
+pub use vfs::{
+    Fault, FaultKind, FaultPlan, FaultVfs, InjectedFault, OpKind, RealVfs, RetryPolicy, Vfs,
 };

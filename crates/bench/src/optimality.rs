@@ -25,7 +25,7 @@
 use crate::store::{StoreError, SuiteStore};
 use qubikos::{generate_suite, verify_certificate, GenerateError, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
-use qubikos_engine::{Engine, JobKey, NullSink, ProgressSink, AUTO_THREADS};
+use qubikos_engine::{Engine, JobDeadline, JobKey, NullSink, ProgressSink, AUTO_THREADS};
 use qubikos_exact::{ExactConfig, ExactSolver};
 use serde::{Deserialize, Serialize};
 
@@ -42,8 +42,15 @@ pub struct OptimalityConfig {
     /// Only run the exact solver on instances with at most this designed SWAP
     /// count (its runtime grows exponentially with the count).
     pub exact_swap_limit: usize,
+    /// Per-circuit wall-clock budget for the verification job, in
+    /// microseconds; `None` means unbounded. A circuit whose exact search
+    /// outlives the budget degrades to [`OptimalityReport::deadline_exceeded`]
+    /// (certified but not exhaustively confirmed) instead of stalling the
+    /// run. **Note:** a deadline makes verdicts timing-dependent, so the
+    /// report is no longer bit-identical across machines or thread counts.
+    pub exact_deadline_micros: Option<u64>,
     /// Number of worker threads; [`AUTO_THREADS`] (0) uses every available
-    /// core. The report is identical for any value.
+    /// core. The report is identical for any value (when no deadline is set).
     pub threads: usize,
 }
 
@@ -61,6 +68,7 @@ impl OptimalityConfig {
             suite: SuiteConfig::paper_optimality_study(),
             exact: ExactConfig::default(),
             exact_swap_limit: 3,
+            exact_deadline_micros: None,
             threads: AUTO_THREADS,
         }
     }
@@ -88,6 +96,7 @@ impl OptimalityConfig {
             },
             exact: ExactConfig::default(),
             exact_swap_limit: 3,
+            exact_deadline_micros: None,
             threads: AUTO_THREADS,
         }
     }
@@ -97,6 +106,20 @@ impl OptimalityConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Returns the configuration with a per-circuit wall-clock budget for
+    /// the verification jobs (see
+    /// [`exact_deadline_micros`](Self::exact_deadline_micros)).
+    pub fn with_exact_deadline(mut self, limit: std::time::Duration) -> Self {
+        self.exact_deadline_micros = Some(limit.as_micros().min(u64::MAX as u128) as u64);
+        self
+    }
+
+    /// The configured per-circuit deadline as a [`std::time::Duration`].
+    pub fn exact_deadline(&self) -> Option<std::time::Duration> {
+        self.exact_deadline_micros
+            .map(std::time::Duration::from_micros)
     }
 }
 
@@ -126,6 +149,11 @@ pub struct OptimalityReport {
     pub exactly_confirmed: usize,
     /// Circuits where the exhaustive solver was attempted but hit its budget.
     pub exact_budget_exceeded: usize,
+    /// Circuits whose verification job outran its wall-clock deadline
+    /// ([`OptimalityConfig::exact_deadline_micros`]); the certificate still
+    /// held, only the independent exhaustive confirmation was cut short.
+    /// Always zero when no deadline is configured.
+    pub deadline_exceeded: usize,
     /// Circuits where any check failed (must be zero).
     pub failures: usize,
     /// Total exact-solver search nodes across all circuits.
@@ -144,6 +172,7 @@ impl PartialEq for OptimalityReport {
             && self.certified == other.certified
             && self.exactly_confirmed == other.exactly_confirmed
             && self.exact_budget_exceeded == other.exact_budget_exceeded
+            && self.deadline_exceeded == other.deadline_exceeded
             && self.failures == other.failures
             && self.exact_nodes == other.exact_nodes
             && self.exact_nodes_by_k == other.exact_nodes_by_k
@@ -164,6 +193,9 @@ enum CircuitVerdict {
     ExactMismatch,
     /// Certificate held; the exhaustive search exceeded its budget.
     ExactBudgetExceeded,
+    /// Certificate held; the verification job outran its wall-clock
+    /// deadline before the exhaustive search finished.
+    DeadlineExceeded,
 }
 
 impl CircuitVerdict {
@@ -175,6 +207,7 @@ impl CircuitVerdict {
             CircuitVerdict::ExactlyConfirmed => "exactly-confirmed",
             CircuitVerdict::ExactMismatch => "exact-mismatch",
             CircuitVerdict::ExactBudgetExceeded => "exact-budget-exceeded",
+            CircuitVerdict::DeadlineExceeded => "deadline-exceeded",
         }
     }
 
@@ -187,6 +220,7 @@ impl CircuitVerdict {
             "exactly-confirmed" => Some(CircuitVerdict::ExactlyConfirmed),
             "exact-mismatch" => Some(CircuitVerdict::ExactMismatch),
             "exact-budget-exceeded" => Some(CircuitVerdict::ExactBudgetExceeded),
+            "deadline-exceeded" => Some(CircuitVerdict::DeadlineExceeded),
             _ => None,
         }
     }
@@ -238,12 +272,15 @@ pub fn run_optimality_study_with_sink(
         .flat_map(|(arch, suite)| suite.iter().map(move |point| (arch, point)))
         .collect();
 
-    let engine = Engine::new(config.threads).with_base_seed(config.suite.base_seed);
+    let mut engine = Engine::new(config.threads).with_base_seed(config.suite.base_seed);
+    if let Some(limit) = config.exact_deadline() {
+        engine = engine.with_job_deadline(limit);
+    }
     let outcomes = engine
         .run_values(
             &jobs,
             |_worker| ExactSolver::new(config.exact),
-            |solver, _ctx, &(arch, point)| verify_point(solver, config, arch, point),
+            |solver, ctx, &(arch, point)| verify_point(solver, config, arch, point, ctx.deadline),
             sink,
         )
         .unwrap_or_else(|error| panic!("optimality study aborted: {error}"));
@@ -269,6 +306,7 @@ impl OptimalityFold {
                 certified: 0,
                 exactly_confirmed: 0,
                 exact_budget_exceeded: 0,
+                deadline_exceeded: 0,
                 failures: 0,
                 exact_nodes: 0,
                 exact_nodes_by_k: Vec::new(),
@@ -294,6 +332,10 @@ impl OptimalityFold {
             CircuitVerdict::ExactBudgetExceeded => {
                 report.certified += 1;
                 report.exact_budget_exceeded += 1;
+            }
+            CircuitVerdict::DeadlineExceeded => {
+                report.certified += 1;
+                report.deadline_exceeded += 1;
             }
         }
         report.exact_wall_micros += outcome.exact_wall_micros;
@@ -370,6 +412,10 @@ pub struct SuiteOptimalityOutcome {
     pub cache_hits: usize,
     /// Shards processed this run.
     pub shards: usize,
+    /// Shards skipped because their manifest or an instance file was
+    /// persistently corrupt; the offending file was moved to the store's
+    /// `quarantine/` directory and the report covers the remaining shards.
+    pub shards_quarantined: usize,
     /// Whether the whole corpus was covered (false when the run was
     /// truncated by `stop_after_shards` — the report then covers a prefix).
     pub complete: bool,
@@ -418,6 +464,12 @@ pub fn run_suite_optimality_with_sink(
 /// rerun answers the already-processed shards entirely from cache — resume
 /// at shard granularity falls out of the cache semantics.
 ///
+/// A shard whose manifest or instance files are *persistently* corrupt
+/// (reads are retried first) is quarantined and skipped rather than failing
+/// the run: the offending file moves to `quarantine/`, the skip is counted
+/// in [`SuiteOptimalityOutcome::shards_quarantined`], and the report covers
+/// the surviving shards. Plain I/O errors still propagate.
+///
 /// # Errors
 ///
 /// As [`run_suite_optimality`].
@@ -435,51 +487,98 @@ pub fn run_suite_optimality_partial(
     let mut fold = OptimalityFold::new();
     let mut verified_total = 0;
     let mut cache_hits = 0;
+    let mut shards_quarantined = 0;
 
     for shard in 0..shards {
-        let records = store.shard_records(shard)?;
-        let key =
-            |point_index: usize| JobKey::new("optimality", &records[point_index].content_hash);
-
-        // Resolve the cache first: only misses are verified.
-        let mut outcomes: Vec<Option<PointOutcome>> = (0..records.len())
-            .map(|point_index| {
-                let cached: CachedVerification = store.read_cached(&key(point_index))?;
-                let compatible = cached.circuit_hash == records[point_index].content_hash
-                    && cached.max_swaps == config.exact.max_swaps
-                    && cached.node_budget == config.exact.node_budget
-                    && cached.exact_swap_limit == config.exact_swap_limit;
-                if !compatible {
-                    return None;
+        match optimality_shard(store, config, &arch, base_seed, shard, sink) {
+            Ok((outcomes, verified, hits)) => {
+                for outcome in &outcomes {
+                    fold.add(outcome);
                 }
-                Some(PointOutcome {
-                    verdict: CircuitVerdict::parse(&cached.verdict)?,
-                    exact_queries: cached.queries,
-                    exact_wall_micros: cached.wall_micros,
-                })
-            })
-            .collect();
-        let misses: Vec<usize> = outcomes
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.is_none())
-            .map(|(i, _)| i)
-            .collect();
+                verified_total += verified;
+                cache_hits += hits;
+            }
+            Err(error) if error.is_corruption() => {
+                store.quarantine_shard_error(shard, &error);
+                shards_quarantined += 1;
+            }
+            Err(error) => return Err(error),
+        }
+    }
 
-        if !misses.is_empty() {
-            // The shard's circuits are only materialized — and only this
-            // shard re-verified — when there are misses to work on. Each
-            // verdict is persisted from inside its job so an interrupted
-            // run resumes where it stopped (`write_cached` is
-            // rename-atomic; a kill mid-write costs only that one entry).
-            let points = store.load_shard(shard)?;
-            let engine = Engine::new(config.threads).with_base_seed(base_seed);
-            let fresh: Vec<PointOutcome> = engine
-                .run_values(
-                    &misses,
-                    |_worker| ExactSolver::new(config.exact),
-                    |solver, _ctx, &point_index| -> Result<PointOutcome, StoreError> {
-                        let outcome = verify_point(solver, config, &arch, &points[point_index]);
+    Ok(SuiteOptimalityOutcome {
+        report: fold.finish(),
+        verified: verified_total,
+        cache_hits,
+        shards,
+        shards_quarantined,
+        complete: shards == store.shard_count(),
+    })
+}
+
+/// Verifies one shard: cache lookups, engine verification of the misses,
+/// cache writes. Returns the per-circuit outcomes plus the verified/
+/// cache-hit counts, so a corrupt shard can be dropped wholesale before
+/// anything is folded.
+fn optimality_shard(
+    store: &SuiteStore,
+    config: &OptimalityConfig,
+    arch: &Architecture,
+    base_seed: u64,
+    shard: usize,
+    sink: &dyn ProgressSink,
+) -> Result<(Vec<PointOutcome>, usize, usize), StoreError> {
+    let records = store.shard_records(shard)?;
+    let key = |point_index: usize| JobKey::new("optimality", &records[point_index].content_hash);
+
+    // Resolve the cache first: only misses are verified.
+    let mut outcomes: Vec<Option<PointOutcome>> = (0..records.len())
+        .map(|point_index| {
+            let cached: CachedVerification = store.read_cached(&key(point_index))?;
+            let compatible = cached.circuit_hash == records[point_index].content_hash
+                && cached.max_swaps == config.exact.max_swaps
+                && cached.node_budget == config.exact.node_budget
+                && cached.exact_swap_limit == config.exact_swap_limit;
+            if !compatible {
+                return None;
+            }
+            Some(PointOutcome {
+                verdict: CircuitVerdict::parse(&cached.verdict)?,
+                exact_queries: cached.queries,
+                exact_wall_micros: cached.wall_micros,
+            })
+        })
+        .collect();
+    let misses: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_none())
+        .map(|(i, _)| i)
+        .collect();
+
+    if !misses.is_empty() {
+        // The shard's circuits are only materialized — and only this
+        // shard re-verified — when there are misses to work on. Each
+        // verdict is persisted from inside its job so an interrupted
+        // run resumes where it stopped (`write_cached` is
+        // rename-atomic; a kill mid-write costs only that one entry).
+        let points = store.load_shard(shard)?;
+        let mut engine = Engine::new(config.threads).with_base_seed(base_seed);
+        if let Some(limit) = config.exact_deadline() {
+            engine = engine.with_job_deadline(limit);
+        }
+        let fresh: Vec<PointOutcome> = engine
+            .run_values(
+                &misses,
+                |_worker| ExactSolver::new(config.exact),
+                |solver, ctx, &point_index| -> Result<PointOutcome, StoreError> {
+                    let outcome =
+                        verify_point(solver, config, arch, &points[point_index], ctx.deadline);
+                    // A deadline-exceeded verdict is a statement about
+                    // *this machine's* clock, not about the circuit —
+                    // caching it would make a faster rerun inherit the
+                    // timeout, so it is recomputed every run instead.
+                    if outcome.verdict != CircuitVerdict::DeadlineExceeded {
                         store.write_cached(
                             &key(point_index),
                             &CachedVerification {
@@ -492,41 +591,40 @@ pub fn run_suite_optimality_partial(
                                 wall_micros: outcome.exact_wall_micros,
                             },
                         )?;
-                        Ok(outcome)
-                    },
-                    sink,
-                )
-                .unwrap_or_else(|error| panic!("optimality study aborted: {error}"))
-                .into_iter()
-                .collect::<Result<_, _>>()?;
+                    }
+                    Ok(outcome)
+                },
+                sink,
+            )
+            .unwrap_or_else(|error| panic!("optimality study aborted: {error}"))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
 
-            for (&point_index, outcome) in misses.iter().zip(&fresh) {
-                outcomes[point_index] = Some(outcome.clone());
-            }
+        for (&point_index, outcome) in misses.iter().zip(&fresh) {
+            outcomes[point_index] = Some(outcome.clone());
         }
-        for slot in &outcomes {
-            fold.add(slot.as_ref().expect("every circuit resolved"));
-        }
-        verified_total += misses.len();
-        cache_hits += records.len() - misses.len();
     }
 
-    Ok(SuiteOptimalityOutcome {
-        report: fold.finish(),
-        verified: verified_total,
-        cache_hits,
-        shards,
-        complete: shards == store.shard_count(),
-    })
+    let resolved: Vec<PointOutcome> = outcomes
+        .into_iter()
+        .map(|slot| slot.expect("every circuit resolved"))
+        .collect();
+    let verified = misses.len();
+    let hits = records.len() - verified;
+    Ok((resolved, verified, hits))
 }
 
 /// Verifies one circuit: certificate always, exhaustive exact solver when
-/// the designed SWAP count is within the configured limit.
+/// the designed SWAP count is within the configured limit. `deadline` (from
+/// the engine's [`JobDeadline`], when configured) cuts the exhaustive
+/// search short so one pathological instance degrades to an unproven
+/// verdict instead of stalling the run.
 fn verify_point(
     solver: &mut ExactSolver,
     config: &OptimalityConfig,
     arch: &Architecture,
     point: &qubikos::ExperimentPoint,
+    deadline: Option<JobDeadline>,
 ) -> PointOutcome {
     let unsolved = |verdict| PointOutcome {
         verdict,
@@ -539,7 +637,11 @@ fn verify_point(
     if point.swap_count > config.exact_swap_limit {
         return unsolved(CircuitVerdict::CertifiedOnly);
     }
-    let result = solver.solve(point.benchmark.circuit(), arch);
+    let result = solver.solve_with_deadline(
+        point.benchmark.circuit(),
+        arch,
+        deadline.map(|d| d.expires_at()),
+    );
     let verdict = match result.optimal_swaps {
         Some(optimal) if result.proven => {
             if optimal == point.benchmark.optimal_swaps() {
@@ -548,6 +650,7 @@ fn verify_point(
                 CircuitVerdict::ExactMismatch
             }
         }
+        _ if result.deadline_exceeded => CircuitVerdict::DeadlineExceeded,
         _ => CircuitVerdict::ExactBudgetExceeded,
     };
     PointOutcome {
@@ -575,6 +678,7 @@ mod tests {
                 node_budget: 10_000_000,
             },
             exact_swap_limit: 1,
+            exact_deadline_micros: None,
             threads: 2,
         }
     }
@@ -634,5 +738,33 @@ mod tests {
         // The smoke limit covers every designed SWAP count, so every circuit
         // must also be exhaustively confirmed, not just certificate-checked.
         assert_eq!(report.exactly_confirmed, report.circuits);
+        assert_eq!(report.deadline_exceeded, 0, "no deadline configured");
+    }
+
+    /// A pathological (here: zero) deadline must degrade exact confirmation
+    /// to `deadline_exceeded` — certified, unproven, run completes, zero
+    /// failures — instead of stalling or poisoning the study.
+    #[test]
+    fn zero_deadline_degrades_to_unproven_without_failing() {
+        let config = tiny_config().with_exact_deadline(std::time::Duration::ZERO);
+        let report = run_optimality_study(&config).expect("valid config");
+        // Every circuit still completes its certificate check...
+        assert_eq!(report.circuits, 4);
+        assert_eq!(report.certified, 4);
+        assert_eq!(report.failures, 0);
+        // ...and every exact-solver consultation (the SWAP-1 instances, per
+        // `exact_swap_limit: 1`) times out instead of confirming.
+        assert!(report.deadline_exceeded > 0);
+        assert_eq!(report.exactly_confirmed, 0);
+    }
+
+    /// A generous deadline must not change the study's outcome.
+    #[test]
+    fn generous_deadline_matches_unbounded_report() {
+        let unbounded = run_optimality_study(&tiny_config()).expect("valid config");
+        let config = tiny_config().with_exact_deadline(std::time::Duration::from_secs(3600));
+        let bounded = run_optimality_study(&config).expect("valid config");
+        assert_eq!(bounded, unbounded);
+        assert_eq!(bounded.deadline_exceeded, 0);
     }
 }

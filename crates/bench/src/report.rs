@@ -70,6 +70,13 @@ pub fn render_optimality(report: &OptimalityReport) -> String {
         report.exact_budget_exceeded,
         report.failures
     );
+    if report.deadline_exceeded > 0 {
+        let _ = writeln!(
+            out,
+            "deadline: {} circuit(s) exceeded the per-job wall-clock budget (certified, not exhaustively confirmed)",
+            report.deadline_exceeded
+        );
+    }
     if report.exact_nodes > 0 {
         let _ = writeln!(
             out,
@@ -122,6 +129,13 @@ pub fn render_analytics(report: &AnalyticsReport) -> String {
         summary.fully_covered,
         report.tool_seed
     );
+    if report.shards_quarantined > 0 || report.cache.corrupt_entries > 0 {
+        let _ = writeln!(
+            out,
+            "degraded: {} shard(s) quarantined, {} corrupt cache entr(ies) quarantined",
+            report.shards_quarantined, report.cache.corrupt_entries
+        );
+    }
     let _ = writeln!(
         out,
         "{:<12}{:>10}{:>10}{:>10}{:>12}",
@@ -274,6 +288,7 @@ mod tests {
             certified: 10,
             exactly_confirmed: 5,
             exact_budget_exceeded: 0,
+            deadline_exceeded: 1,
             failures: 0,
             exact_nodes: 1500,
             exact_nodes_by_k: vec![
@@ -291,6 +306,7 @@ mod tests {
             exact_wall_micros: 2500,
         });
         assert!(text.contains("10 circuits"));
+        assert!(text.contains("1 circuit(s) exceeded the per-job wall-clock budget"));
         assert!(text.contains("1500 nodes"));
         assert!(text.contains("k=1: 5 queries, 500 nodes"));
         assert!(text.contains("k=2: 3 queries, 1000 nodes"));
@@ -318,9 +334,12 @@ mod tests {
             device: DeviceKind::Grid3x3,
             tool_seed: 7,
             shards: 2,
+            shards_quarantined: 0,
+            cache: crate::store::CacheStatsSnapshot::default(),
             summary,
         });
         assert!(text.contains("2 instances in 2 shards"));
+        assert!(!text.contains("degraded:"));
         assert!(text.contains("1 fully covered"));
         assert!(text.contains("lightsabre"));
         assert!(text.contains("tket"));

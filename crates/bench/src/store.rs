@@ -54,12 +54,35 @@
 //! already routed, and an interrupted sharded run resumes where it stopped.
 //! Cache writes go through a temp-file rename so a killed run never leaves a
 //! half-written entry behind.
+//!
+//! **Fault tolerance.** Every byte the store touches goes through a
+//! [`Vfs`](crate::vfs::Vfs), so the whole stack can be driven under scripted
+//! faults ([`crate::vfs::FaultVfs`]) and is hardened against real ones:
+//!
+//! * Transient I/O errors are absorbed by a bounded
+//!   [`RetryPolicy`](crate::vfs::RetryPolicy) (and transiently corrupt
+//!   *reads* by re-reading until the hash check passes).
+//! * Commits of manifests, ledgers, and the quarantine report fsync the
+//!   temp file before the rename and the directory after it (see
+//!   [`ExportOptions::durable`]), so "atomic" survives power loss, not just
+//!   SIGKILL. A failed commit removes its temp file.
+//! * Files that are *persistently* corrupt on disk (a cache entry that does
+//!   not parse, a shard manifest that fails its hash check) are moved into
+//!   `quarantine/` and recorded in the machine-readable
+//!   [`QUARANTINE_REPORT_FILE`] instead of silently missing or aborting the
+//!   run; the streaming pipelines skip, count, and surface quarantined
+//!   shards.
+//! * Export resume trusts only the disk: a shard manifest that exists and
+//!   validates against the config (seeds, spans, device, gate counts) is
+//!   reused even when the resume ledger is missing or corrupt, so a
+//!   destroyed ledger never costs completed shards.
 
+use crate::vfs::{RealVfs, RetryPolicy, Vfs};
 use qubikos::{
-    content_hash, generate, generate_suite, shard_file_name, shard_spans, ExperimentPoint,
-    GenerateError, GeneratorConfig, InstanceRecord, RootIndex, ShardManifest, ShardRecord,
-    SuiteConfig, SuiteManifest, DEFAULT_SHARD_SIZE, MANIFEST_FILE, MANIFEST_FORMAT, SHARD_DIR,
-    V1_MANIFEST_FORMAT,
+    content_hash, generate, generate_suite, instance_file_name, shard_file_name, shard_spans,
+    ExperimentPoint, GenerateError, GeneratorConfig, InstanceRecord, RootIndex, ShardManifest,
+    ShardRecord, SuiteConfig, SuiteManifest, DEFAULT_SHARD_SIZE, MANIFEST_FILE, MANIFEST_FORMAT,
+    SHARD_DIR, V1_MANIFEST_FORMAT,
 };
 use qubikos_arch::DeviceKind;
 use qubikos_circuit::{parse_qasm, to_qasm};
@@ -68,9 +91,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
+use std::io;
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// File name of the export resume ledger, next to the root index.
@@ -78,6 +102,13 @@ pub const EXPORT_LEDGER_FILE: &str = "export.ledger.json";
 
 /// File name of the verification resume ledger, next to the root index.
 pub const VERIFY_LEDGER_FILE: &str = "verify.ledger.json";
+
+/// Directory (under the suite root) that corrupt files are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Machine-readable report of every quarantined file, inside
+/// [`QUARANTINE_DIR`].
+pub const QUARANTINE_REPORT_FILE: &str = "quarantine/quarantine.json";
 
 /// Everything that can go wrong exporting, opening, verifying, or loading a
 /// stored suite.
@@ -179,6 +210,22 @@ impl fmt::Display for StoreError {
 
 impl Error for StoreError {}
 
+impl StoreError {
+    /// True when the error means the *bytes on disk* are wrong (tampered,
+    /// torn, or rotted) rather than the filesystem failing: these are the
+    /// errors the pipelines degrade around by quarantining the file, where
+    /// an [`Io`](StoreError::Io) error still aborts the run.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Malformed { .. }
+                | StoreError::HashMismatch { .. }
+                | StoreError::Qasm { .. }
+                | StoreError::RoundTripMismatch { .. }
+        )
+    }
+}
+
 impl From<GenerateError> for StoreError {
     fn from(error: GenerateError) -> Self {
         StoreError::Generate(error)
@@ -190,6 +237,187 @@ fn io_error(path: &Path, error: &std::io::Error) -> StoreError {
         path: path.display().to_string(),
         message: error.to_string(),
     }
+}
+
+// ---- fault-tolerant filesystem plumbing -----------------------------------
+
+/// The store's view of the filesystem: a [`Vfs`] backend, the retry budget
+/// for transient faults, and whether commits of critical files fsync.
+#[derive(Debug, Clone)]
+struct Fs {
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
+    durable: bool,
+}
+
+impl Fs {
+    /// Reads a file, absorbing transient I/O errors (`NotFound` returns
+    /// immediately).
+    fn read(&self, path: &Path) -> io::Result<String> {
+        self.retry.run(|| self.vfs.read_to_string(path))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<(), StoreError> {
+        self.retry
+            .run(|| self.vfs.create_dir_all(path))
+            .map_err(|e| io_error(path, &e))
+    }
+
+    /// Writes `text` to `path` via a sibling temp file + rename, so readers
+    /// (and resumed runs) never observe a torn file. The temp name carries
+    /// the process id and a per-process counter: two sharded runs landing on
+    /// the same cache entry each rename their own complete file (last rename
+    /// wins with identical content) instead of racing on one shared `.tmp`.
+    ///
+    /// With `durable` (manifests, ledgers, quarantine report) the temp file
+    /// is fsynced before the rename and the parent directory after it, so a
+    /// completed commit survives power loss. Any failed attempt removes its
+    /// temp file before the retry policy re-runs or surfaces the error — a
+    /// torn commit leaves no debris behind.
+    fn write_atomic(&self, path: &Path, text: &str, durable: bool) -> Result<(), StoreError> {
+        static WRITE_SERIAL: AtomicU64 = AtomicU64::new(0);
+        self.retry
+            .run(|| {
+                let serial = WRITE_SERIAL.fetch_add(1, Ordering::Relaxed);
+                let mut tmp = path.as_os_str().to_owned();
+                tmp.push(format!(".{}-{serial}.tmp", std::process::id()));
+                let tmp = PathBuf::from(tmp);
+                let attempt = (|| {
+                    self.vfs.write(&tmp, text)?;
+                    if durable {
+                        self.vfs.sync_file(&tmp)?;
+                    }
+                    self.vfs.rename(&tmp, path)
+                })();
+                if attempt.is_err() {
+                    let _ = self.vfs.remove_file(&tmp);
+                }
+                attempt?;
+                if durable {
+                    if let Some(parent) = path.parent() {
+                        // Advisory: a failed directory fsync does not un-commit
+                        // the rename.
+                        let _ = self.vfs.sync_dir(parent);
+                    }
+                }
+                Ok(())
+            })
+            .map_err(|e| io_error(path, &e))
+    }
+}
+
+/// Raw result-cache counters, totalled since the [`SuiteStore`] was opened.
+/// Shared across clones of the store (the engine pipelines read the cache
+/// from many workers), rendered via [`SuiteStore::cache_stats`].
+#[derive(Debug, Default)]
+struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt_entries: AtomicU64,
+}
+
+/// Point-in-time snapshot of the store's result-cache counters
+/// ([`SuiteStore::cache_stats`]): raw entry-level reads, before any
+/// caller-side staleness filtering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStatsSnapshot {
+    /// Entries that were present and parsed.
+    pub hits: u64,
+    /// Entries that were absent (or unreadable after retries).
+    pub misses: u64,
+    /// Entries that were present but persistently corrupt — each one was
+    /// moved to [`QUARANTINE_DIR`] and costs exactly one recompute.
+    pub corrupt_entries: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Counter movement since `earlier` (saturating per field): the cache
+    /// activity between two snapshots of the same store. Lets a pass report
+    /// its own reads even when the store's lifetime counters already carry
+    /// history from previous passes.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        Self {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            corrupt_entries: self.corrupt_entries.saturating_sub(earlier.corrupt_entries),
+        }
+    }
+}
+
+/// One quarantined file, as recorded in [`QUARANTINE_REPORT_FILE`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Original path, relative to the suite root.
+    pub file: String,
+    /// File class: `"cache"`, `"shard"`, `"instance"`, or `"ledger"`.
+    pub class: String,
+    /// Why the file was quarantined (rendered error).
+    pub reason: String,
+    /// Where the bytes were moved, relative to the suite root (inside
+    /// [`QUARANTINE_DIR`]). Quarantining the same original path again gets a
+    /// numbered suffix, so no evidence is overwritten.
+    pub quarantined_as: String,
+}
+
+/// The machine-readable quarantine report: every file the store moved aside
+/// instead of silently ignoring or hard-aborting on, in quarantine order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineReport {
+    /// All quarantined files, oldest first.
+    pub entries: Vec<QuarantineEntry>,
+}
+
+/// Moves `root/rel` into [`QUARANTINE_DIR`] and appends an entry to the
+/// quarantine report. Serialized by a process-wide lock so concurrent
+/// pipeline workers cannot interleave read-modify-write cycles on the
+/// report. Best-effort by design: callers degrade around corruption, and a
+/// failing quarantine (e.g. under injected faults) must not turn a
+/// recoverable situation into an abort — hence the fallback from rename to
+/// remove.
+fn quarantine_file(
+    fs: &Fs,
+    root: &Path,
+    rel: &str,
+    class: &str,
+    reason: &str,
+) -> Result<(), StoreError> {
+    static QUARANTINE_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = QUARANTINE_LOCK.lock().expect("quarantine lock");
+    let report_path = root.join(QUARANTINE_REPORT_FILE);
+    let mut report = match fs.read(&report_path) {
+        Ok(text) => serde_json::from_str::<QuarantineReport>(&text).unwrap_or_default(),
+        Err(_) => QuarantineReport::default(),
+    };
+    let flat = rel.replace('/', "__");
+    let occurrence = report.entries.iter().filter(|e| e.file == rel).count();
+    let quarantined_as = if occurrence == 0 {
+        format!("{QUARANTINE_DIR}/{flat}")
+    } else {
+        format!("{QUARANTINE_DIR}/{flat}.{occurrence}")
+    };
+    fs.create_dir_all(&root.join(QUARANTINE_DIR))?;
+    let source = root.join(rel);
+    if fs
+        .retry
+        .run(|| fs.vfs.rename(&source, &root.join(&quarantined_as)))
+        .is_err()
+    {
+        // Getting the corrupt file out of the way matters more than
+        // preserving its bytes.
+        let _ = fs.retry.run(|| fs.vfs.remove_file(&source));
+    }
+    report.entries.push(QuarantineEntry {
+        file: rel.to_string(),
+        class: class.to_string(),
+        reason: reason.to_string(),
+        quarantined_as,
+    });
+    let json = serde_json::to_string_pretty(&report).map_err(|e| StoreError::Malformed {
+        path: report_path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    fs.write_atomic(&report_path, &json, fs.durable)
 }
 
 /// One failing instance found by [`SuiteStore::verify_streaming`], with the
@@ -254,6 +482,14 @@ pub struct ExportOptions {
     /// and CI hook for exercising shard-granularity resume; `None` runs to
     /// completion.
     pub stop_after_shards: Option<usize>,
+    /// Fsync manifests, ledgers, and the quarantine report on commit (temp
+    /// file before the rename, directory after), so those files survive
+    /// power loss — on by default. Per-instance QASM/sidecar files and
+    /// cache entries are never fsynced: they are cheap to regenerate and
+    /// their integrity is hash-checked on read anyway.
+    pub durable: bool,
+    /// Retry budget for transient I/O faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExportOptions {
@@ -261,6 +497,8 @@ impl Default for ExportOptions {
         ExportOptions {
             shard_size: DEFAULT_SHARD_SIZE,
             stop_after_shards: None,
+            durable: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -275,6 +513,18 @@ impl ExportOptions {
     /// Simulates an interrupt after `shards` newly written shards.
     pub fn with_stop_after_shards(mut self, shards: usize) -> Self {
         self.stop_after_shards = Some(shards);
+        self
+    }
+
+    /// Enables or disables fsync-on-commit for manifests and ledgers.
+    pub fn with_durability(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
+    /// Sets the transient-I/O retry budget.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -303,11 +553,24 @@ struct ShardLedger {
     completed: Vec<usize>,
 }
 
-fn read_ledger(path: &Path, operation: &str, fingerprint: &str) -> BTreeSet<usize> {
-    let Ok(text) = std::fs::read_to_string(path) else {
+/// Reads a resume ledger. Absent or unreadable: nothing to resume. Present
+/// but unparseable: the file is corrupt — it is quarantined (the evidence
+/// may matter) and the run restarts from scratch. Parseable but for a
+/// different operation or fingerprint: *stale*, not corrupt — ignored
+/// without quarantining, exactly as before.
+fn read_ledger(
+    fs: &Fs,
+    root: &Path,
+    name: &str,
+    operation: &str,
+    fingerprint: &str,
+) -> BTreeSet<usize> {
+    let path = root.join(name);
+    let Ok(text) = fs.read(&path) else {
         return BTreeSet::new();
     };
     let Ok(ledger) = serde_json::from_str::<ShardLedger>(&text) else {
+        let _ = quarantine_file(fs, root, name, "ledger", "resume ledger does not parse");
         return BTreeSet::new();
     };
     if ledger.operation != operation || ledger.fingerprint != fingerprint {
@@ -317,6 +580,7 @@ fn read_ledger(path: &Path, operation: &str, fingerprint: &str) -> BTreeSet<usiz
 }
 
 fn write_ledger(
+    fs: &Fs,
     path: &Path,
     operation: &str,
     fingerprint: &str,
@@ -331,7 +595,7 @@ fn write_ledger(
         path: path.display().to_string(),
         message: e.to_string(),
     })?;
-    write_atomic(path, &json)
+    fs.write_atomic(path, &json, fs.durable)
 }
 
 /// Per-store shard-residency bookkeeping: how many shards of
@@ -412,6 +676,8 @@ pub struct SuiteStore {
     /// instance records live inline (there is no shard file to read).
     v1_instances: Option<Arc<Vec<InstanceRecord>>>,
     residency: Arc<Residency>,
+    fs: Fs,
+    cache_stats: Arc<CacheStats>,
 }
 
 impl SuiteStore {
@@ -430,7 +696,10 @@ impl SuiteStore {
     /// sequential export. Each completed shard is recorded in a resume
     /// ledger ([`EXPORT_LEDGER_FILE`]); an interrupted export rerun with the
     /// same inputs regenerates only the missing shards and still produces a
-    /// byte-identical root index. The ledger is removed on completion.
+    /// byte-identical root index. The ledger is removed on completion — and
+    /// it is an optimization, not a dependency: a shard whose manifest is on
+    /// disk and validates against the config (seeds, span, device, gate
+    /// count) is resumed even when the ledger was lost or corrupted.
     ///
     /// # Errors
     ///
@@ -444,27 +713,65 @@ impl SuiteStore {
         threads: usize,
         sink: &dyn ProgressSink,
     ) -> Result<ExportOutcome, StoreError> {
+        Self::export_with_options_on(
+            Arc::new(RealVfs),
+            root,
+            device,
+            config,
+            options,
+            threads,
+            sink,
+        )
+    }
+
+    /// [`export_with_options`](Self::export_with_options) on an explicit
+    /// [`Vfs`] backend — the entry point the chaos suite drives with a
+    /// [`crate::vfs::FaultVfs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`export_with_options`](Self::export_with_options).
+    pub fn export_with_options_on(
+        vfs: Arc<dyn Vfs>,
+        root: impl Into<PathBuf>,
+        device: DeviceKind,
+        config: &SuiteConfig,
+        options: &ExportOptions,
+        threads: usize,
+        sink: &dyn ProgressSink,
+    ) -> Result<ExportOutcome, StoreError> {
         let root = root.into();
         let arch = device.build();
-        std::fs::create_dir_all(root.join(SHARD_DIR)).map_err(|e| io_error(&root, &e))?;
+        let fs = Fs {
+            vfs,
+            retry: options.retry,
+            durable: options.durable,
+        };
+        fs.create_dir_all(&root.join(SHARD_DIR))?;
 
         let spans = shard_spans(config.total_circuits(), options.shard_size);
         let shards_total = spans.len();
         let fingerprint = export_fingerprint(device, config, options.shard_size);
         let ledger_path = root.join(EXPORT_LEDGER_FILE);
-        let completed = read_ledger(&ledger_path, "export", &fingerprint);
+        let completed = read_ledger(&fs, &root, EXPORT_LEDGER_FILE, "export", &fingerprint);
 
-        // A ledgered shard only counts as resumed if its manifest is still
-        // readable; anything missing or corrupt is silently regenerated.
+        // Resume trusts the disk over the ledger. A ledgered shard only needs
+        // its manifest re-read (the fingerprint already pins the config); an
+        // unledgered shard can still be resumed if its manifest validates
+        // record-by-record against the config — which is what saves completed
+        // work when the ledger itself was truncated or corrupted. Anything
+        // missing or invalid is regenerated.
         let mut resumed: Vec<(usize, ShardRecord)> = Vec::new();
         let mut pending: Vec<usize> = Vec::new();
         for shard in 0..shards_total {
-            match completed
-                .contains(&shard)
-                .then(|| read_shard_record(&root, shard))
-            {
-                Some(Ok(record)) => resumed.push((shard, record)),
-                _ => pending.push(shard),
+            let record = if completed.contains(&shard) {
+                read_shard_record(&fs, &root, shard)
+            } else {
+                read_shard_record_validated(&fs, &root, shard, device, config, &spans[shard])
+            };
+            match record {
+                Ok(record) => resumed.push((shard, record)),
+                Err(_) => pending.push(shard),
             }
         }
         let shards_resumed = resumed.len();
@@ -502,7 +809,7 @@ impl SuiteStore {
                     };
                     let record = InstanceRecord::describe(device, &point);
                     let qasm_path = root.join(&record.file);
-                    write_atomic(&qasm_path, &to_qasm(point.benchmark.circuit()))?;
+                    fs.write_atomic(&qasm_path, &to_qasm(point.benchmark.circuit()), false)?;
                     let sidecar = serde_json::json!({
                         "architecture": point.benchmark.architecture(),
                         "optimal_swaps": point.benchmark.optimal_swaps(),
@@ -518,7 +825,7 @@ impl SuiteStore {
                             message: e.to_string(),
                         }
                     })?;
-                    write_atomic(&sidecar_path, &json)?;
+                    fs.write_atomic(&sidecar_path, &json, false)?;
                     records.push(record);
                 }
                 let manifest = ShardManifest {
@@ -532,7 +839,7 @@ impl SuiteStore {
                         path: path.display().to_string(),
                         message: e.to_string(),
                     })?;
-                write_atomic(&path, &json)?;
+                fs.write_atomic(&path, &json, fs.durable)?;
                 let record = ShardRecord {
                     shard,
                     file,
@@ -545,7 +852,7 @@ impl SuiteStore {
                 {
                     let mut done = ledger.lock().expect("ledger mutex");
                     done.insert(shard);
-                    write_ledger(&ledger_path, "export", &fingerprint, &done)?;
+                    write_ledger(&fs, &ledger_path, "export", &fingerprint, &done)?;
                 }
                 Ok((shard, record))
             },
@@ -584,14 +891,16 @@ impl SuiteStore {
             path: manifest_path.display().to_string(),
             message: e.to_string(),
         })?;
-        write_atomic(&manifest_path, &json)?;
-        let _ = std::fs::remove_file(&ledger_path);
+        fs.write_atomic(&manifest_path, &json, fs.durable)?;
+        let _ = fs.retry.run(|| fs.vfs.remove_file(&ledger_path));
         Ok(ExportOutcome {
             store: Some(SuiteStore {
                 root,
                 index,
                 v1_instances: None,
                 residency: Arc::new(Residency::default()),
+                fs,
+                cache_stats: Arc::new(CacheStats::default()),
             }),
             shards_written,
             shards_resumed,
@@ -636,10 +945,31 @@ impl SuiteStore {
     /// [`StoreError::Malformed`] when it does not deserialize,
     /// [`StoreError::FormatVersion`] on a schema mismatch.
     pub fn open(root: impl Into<PathBuf>) -> Result<SuiteStore, StoreError> {
+        Self::open_with(root, Arc::new(RealVfs), RetryPolicy::default())
+    }
+
+    /// [`open`](Self::open) on an explicit [`Vfs`] backend and retry policy
+    /// — the entry point the chaos suite drives with a
+    /// [`crate::vfs::FaultVfs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+        retry: RetryPolicy,
+    ) -> Result<SuiteStore, StoreError> {
         let root = root.into();
+        let fs = Fs {
+            vfs,
+            retry,
+            durable: true,
+        };
         let manifest_path = root.join(MANIFEST_FILE);
-        let text =
-            std::fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, &e))?;
+        let text = fs
+            .read(&manifest_path)
+            .map_err(|e| io_error(&manifest_path, &e))?;
         let malformed = |message: String| StoreError::Malformed {
             path: manifest_path.display().to_string(),
             message,
@@ -659,6 +989,8 @@ impl SuiteStore {
                     index,
                     v1_instances: None,
                     residency: Arc::new(Residency::default()),
+                    fs,
+                    cache_stats: Arc::new(CacheStats::default()),
                 })
             }
             V1_MANIFEST_FORMAT => {
@@ -684,6 +1016,8 @@ impl SuiteStore {
                     index,
                     v1_instances: Some(Arc::new(manifest.instances)),
                     residency: Arc::new(Residency::default()),
+                    fs,
+                    cache_stats: Arc::new(CacheStats::default()),
                 })
             }
             found => Err(StoreError::FormatVersion { found }),
@@ -743,6 +1077,11 @@ impl SuiteStore {
     /// manifest's bytes against the root index hash. For a legacy corpus the
     /// records come from the in-memory manifest.
     ///
+    /// A failed hash check is re-read up to the retry budget before it
+    /// counts: transiently corrupt *reads* (the medium returned wrong bytes
+    /// for an intact file) heal, only persistent on-disk corruption
+    /// surfaces.
+    ///
     /// # Errors
     ///
     /// [`StoreError::Io`]/[`StoreError::Malformed`]/[`StoreError::HashMismatch`]
@@ -754,30 +1093,15 @@ impl SuiteStore {
         }
         let record = &self.index.shards[shard];
         let path = self.root.join(&record.file);
-        let text = std::fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
-        let found = content_hash(&text);
-        if found != record.content_hash {
-            return Err(StoreError::HashMismatch {
-                file: record.file.clone(),
-                expected: record.content_hash.clone(),
-                found,
-            });
+        let mut last = None;
+        for _ in 0..self.fs.retry.attempts.max(1) {
+            let text = self.fs.read(&path).map_err(|e| io_error(&path, &e))?;
+            match parse_shard_manifest(&text, shard, record, &path) {
+                Ok(instances) => return Ok(instances),
+                Err(error) => last = Some(error),
+            }
         }
-        let manifest: ShardManifest =
-            serde_json::from_str(&text).map_err(|e| StoreError::Malformed {
-                path: path.display().to_string(),
-                message: e.to_string(),
-            })?;
-        if manifest.shard != shard {
-            return Err(StoreError::Malformed {
-                path: path.display().to_string(),
-                message: format!(
-                    "shard manifest claims shard {}, expected {shard}",
-                    manifest.shard
-                ),
-            });
-        }
-        Ok(manifest.instances)
+        Err(last.expect("at least one attempt runs"))
     }
 
     /// Loads one shard back into verified experiment points: each file's
@@ -809,7 +1133,9 @@ impl SuiteStore {
     }
 
     /// Verifies one instance record and returns its point: hash check,
-    /// parse, and regeneration round trip.
+    /// parse, and regeneration round trip. As with
+    /// [`shard_records`](Self::shard_records), a failed check is re-read up
+    /// to the retry budget so transient read corruption heals.
     fn check_instance(
         &self,
         arch: &qubikos_arch::Architecture,
@@ -819,30 +1145,42 @@ impl SuiteStore {
             .with_seed(record.seed);
         let benchmark = generate(arch, &gen_config)?;
         let path = self.root.join(&record.file);
-        let text = std::fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
-        let found = content_hash(&text);
-        if found != record.content_hash {
-            return Err(StoreError::HashMismatch {
-                file: record.file.clone(),
-                expected: record.content_hash.clone(),
-                found,
-            });
+        let mut last = None;
+        for _ in 0..self.fs.retry.attempts.max(1) {
+            let text = self.fs.read(&path).map_err(|e| io_error(&path, &e))?;
+            let checked = (|| {
+                let found = content_hash(&text);
+                if found != record.content_hash {
+                    return Err(StoreError::HashMismatch {
+                        file: record.file.clone(),
+                        expected: record.content_hash.clone(),
+                        found,
+                    });
+                }
+                let parsed = parse_qasm(&text).map_err(|e| StoreError::Qasm {
+                    file: record.file.clone(),
+                    message: e.to_string(),
+                })?;
+                if &parsed != benchmark.circuit() {
+                    return Err(StoreError::RoundTripMismatch {
+                        file: record.file.clone(),
+                    });
+                }
+                Ok(())
+            })();
+            match checked {
+                Ok(()) => {
+                    return Ok(ExperimentPoint {
+                        swap_count: record.swap_count,
+                        instance: record.instance,
+                        seed: record.seed,
+                        benchmark,
+                    })
+                }
+                Err(error) => last = Some(error),
+            }
         }
-        let parsed = parse_qasm(&text).map_err(|e| StoreError::Qasm {
-            file: record.file.clone(),
-            message: e.to_string(),
-        })?;
-        if &parsed != benchmark.circuit() {
-            return Err(StoreError::RoundTripMismatch {
-                file: record.file.clone(),
-            });
-        }
-        Ok(ExperimentPoint {
-            swap_count: record.swap_count,
-            instance: record.instance,
-            seed: record.seed,
-            benchmark,
-        })
+        Err(last.expect("at least one attempt runs"))
     }
 
     /// Materializes the whole corpus as one `Vec`, shard by shard, with the
@@ -886,7 +1224,13 @@ impl SuiteStore {
     ) -> Result<VerifyReport, StoreError> {
         let fingerprint = self.verify_fingerprint();
         let ledger_path = self.root.join(VERIFY_LEDGER_FILE);
-        let completed = read_ledger(&ledger_path, "verify", &fingerprint);
+        let completed = read_ledger(
+            &self.fs,
+            &self.root,
+            VERIFY_LEDGER_FILE,
+            "verify",
+            &fingerprint,
+        );
         let mut pending: Vec<usize> = (0..self.shard_count())
             .filter(|s| !completed.contains(s))
             .collect();
@@ -936,7 +1280,7 @@ impl SuiteStore {
                 if failures.is_empty() {
                     let mut done = ledger.lock().expect("ledger mutex");
                     done.insert(shard);
-                    write_ledger(&ledger_path, "verify", &fingerprint, &done)?;
+                    write_ledger(&self.fs, &ledger_path, "verify", &fingerprint, &done)?;
                 }
                 Ok((records.len(), failures))
             },
@@ -955,7 +1299,7 @@ impl SuiteStore {
         }
         let complete = !truncated;
         if complete && failures.is_empty() {
-            let _ = std::fs::remove_file(&ledger_path);
+            let _ = self.fs.retry.run(|| self.fs.vfs.remove_file(&ledger_path));
         }
         Ok(VerifyReport {
             instances,
@@ -1018,12 +1362,56 @@ impl SuiteStore {
             .join(format!("{}.json", key.key()))
     }
 
+    /// Root-relative path of the cache entry for `key` (quarantine
+    /// bookkeeping).
+    fn cache_rel(key: &JobKey) -> String {
+        format!("results/{}/{}.json", key.namespace(), key.key())
+    }
+
     /// Reads a cache entry. Returns `None` when the entry is absent **or**
-    /// unreadable/corrupt — a broken cache entry must only cost a recompute,
-    /// never fail a run.
+    /// corrupt — a broken cache entry must only cost a recompute, never fail
+    /// a run. A persistently corrupt entry (still unparseable after the
+    /// retry budget's worth of re-reads) is additionally moved to
+    /// [`QUARANTINE_DIR`] and counted in
+    /// [`cache_stats`](Self::cache_stats)`.corrupt_entries`, so silent rot
+    /// is visible instead of costing a recompute on every run forever.
     pub fn read_cached<T: serde::Deserialize>(&self, key: &JobKey) -> Option<T> {
-        let text = std::fs::read_to_string(self.cache_path(key)).ok()?;
-        serde_json::from_str(&text).ok()
+        let path = self.cache_path(key);
+        let mut parse_error = None;
+        for _ in 0..self.fs.retry.attempts.max(1) {
+            let text = match self.fs.read(&path) {
+                Ok(text) => text,
+                Err(_) => {
+                    // Absent, or unreadable even after retries: a miss. The
+                    // file (if any) may be fine — never quarantine on a read
+                    // failure alone.
+                    self.cache_stats.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            };
+            match serde_json::from_str(&text) {
+                Ok(value) => {
+                    self.cache_stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(value);
+                }
+                Err(error) => parse_error = Some(error),
+            }
+        }
+        self.cache_stats
+            .corrupt_entries
+            .fetch_add(1, Ordering::Relaxed);
+        let reason = format!(
+            "cache entry does not parse: {}",
+            parse_error.expect("at least one attempt runs")
+        );
+        let _ = quarantine_file(
+            &self.fs,
+            &self.root,
+            &Self::cache_rel(key),
+            "cache",
+            &reason,
+        );
+        None
     }
 
     /// Writes a cache entry atomically (temp file + rename), creating the
@@ -1035,13 +1423,78 @@ impl SuiteStore {
     pub fn write_cached<T: Serialize>(&self, key: &JobKey, value: &T) -> Result<(), StoreError> {
         let path = self.cache_path(key);
         if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).map_err(|e| io_error(parent, &e))?;
+            self.fs.create_dir_all(parent)?;
         }
         let json = serde_json::to_string_pretty(value).map_err(|e| StoreError::Malformed {
             path: path.display().to_string(),
             message: e.to_string(),
         })?;
-        write_atomic(&path, &json)
+        self.fs.write_atomic(&path, &json, false)
+    }
+
+    /// Snapshot of the result-cache counters accumulated by this store (and
+    /// all its clones) since it was opened.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.cache_stats.hits.load(Ordering::Relaxed),
+            misses: self.cache_stats.misses.load(Ordering::Relaxed),
+            corrupt_entries: self.cache_stats.corrupt_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- quarantine --------------------------------------------------------
+
+    /// Reads the quarantine report ([`QUARANTINE_REPORT_FILE`]); an absent
+    /// or unreadable report is an empty one.
+    pub fn quarantine_report(&self) -> QuarantineReport {
+        let path = self.root.join(QUARANTINE_REPORT_FILE);
+        match self.fs.read(&path) {
+            Ok(text) => serde_json::from_str(&text).unwrap_or_default(),
+            Err(_) => QuarantineReport::default(),
+        }
+    }
+
+    /// Quarantines the file implicated by a corruption-class error on
+    /// `shard`: the specific instance file when the error names one, the
+    /// shard manifest otherwise. Used by the streaming pipelines to degrade
+    /// — skip, count, surface — instead of aborting; re-exporting the suite
+    /// regenerates whatever was moved aside.
+    ///
+    /// When the offender is an *instance* file, the shard's manifest is
+    /// quarantined alongside it: export-resume only regenerates a shard
+    /// whose manifest is missing or invalid, so leaving a valid manifest
+    /// over a quarantined instance would strand a hole no re-export heals.
+    pub(crate) fn quarantine_shard_error(&self, shard: usize, error: &StoreError) {
+        let manifest_rel = self
+            .index
+            .shards
+            .get(shard)
+            .map_or_else(|| shard_file_name(shard), |record| record.file.clone());
+        let reason = error.to_string();
+        match error {
+            StoreError::HashMismatch { file, .. }
+            | StoreError::Qasm { file, .. }
+            | StoreError::RoundTripMismatch { file }
+                if file.ends_with(".qasm") =>
+            {
+                let _ = quarantine_file(&self.fs, &self.root, file, "instance", &reason);
+                let _ = quarantine_file(
+                    &self.fs,
+                    &self.root,
+                    &manifest_rel,
+                    "shard",
+                    &format!("contains quarantined instance {file}"),
+                );
+            }
+            StoreError::HashMismatch { file, .. }
+            | StoreError::Qasm { file, .. }
+            | StoreError::RoundTripMismatch { file } => {
+                let _ = quarantine_file(&self.fs, &self.root, file, "shard", &reason);
+            }
+            _ => {
+                let _ = quarantine_file(&self.fs, &self.root, &manifest_rel, "shard", &reason);
+            }
+        }
     }
 }
 
@@ -1056,12 +1509,55 @@ fn export_fingerprint(device: DeviceKind, config: &SuiteConfig, shard_size: usiz
     content_hash(&serde_json::to_string(&inputs).expect("fingerprint serializes"))
 }
 
+/// Parses and integrity-checks one shard manifest's text against its root
+/// index record: hash, schema, and shard-number check.
+fn parse_shard_manifest(
+    text: &str,
+    shard: usize,
+    record: &ShardRecord,
+    path: &Path,
+) -> Result<Vec<InstanceRecord>, StoreError> {
+    let found = content_hash(text);
+    if found != record.content_hash {
+        return Err(StoreError::HashMismatch {
+            file: record.file.clone(),
+            expected: record.content_hash.clone(),
+            found,
+        });
+    }
+    let manifest: ShardManifest =
+        serde_json::from_str(text).map_err(|e| StoreError::Malformed {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+    if manifest.shard != shard {
+        return Err(StoreError::Malformed {
+            path: path.display().to_string(),
+            message: format!(
+                "shard manifest claims shard {}, expected {shard}",
+                manifest.shard
+            ),
+        });
+    }
+    Ok(manifest.instances)
+}
+
 /// Re-derives the root-index record of an already-written shard manifest
-/// from its bytes on disk (resume path).
-fn read_shard_record(root: &Path, shard: usize) -> Result<ShardRecord, StoreError> {
+/// from its bytes on disk (resume path for *ledgered* shards — the ledger
+/// fingerprint already pins the config the manifest was written for).
+fn read_shard_record(fs: &Fs, root: &Path, shard: usize) -> Result<ShardRecord, StoreError> {
+    let (record, _) = read_shard_manifest(fs, root, shard)?;
+    Ok(record)
+}
+
+fn read_shard_manifest(
+    fs: &Fs,
+    root: &Path,
+    shard: usize,
+) -> Result<(ShardRecord, ShardManifest), StoreError> {
     let file = shard_file_name(shard);
     let path = root.join(&file);
-    let text = std::fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
+    let text = fs.read(&path).map_err(|e| io_error(&path, &e))?;
     let manifest: ShardManifest =
         serde_json::from_str(&text).map_err(|e| StoreError::Malformed {
             path: path.display().to_string(),
@@ -1076,27 +1572,60 @@ fn read_shard_record(root: &Path, shard: usize) -> Result<ShardRecord, StoreErro
             ),
         });
     }
-    Ok(ShardRecord {
+    let record = ShardRecord {
         shard,
         file,
         instances: manifest.instances.len(),
         content_hash: content_hash(&text),
-    })
+    };
+    Ok((record, manifest))
 }
 
-/// Writes `text` to `path` via a sibling temp file + rename, so readers (and
-/// resumed runs) never observe a torn file. The temp name carries the
-/// process id and a per-process counter: two sharded runs landing on the
-/// same cache entry each rename their own complete file (last rename wins
-/// with identical content) instead of racing on one shared `.tmp`.
-fn write_atomic(path: &Path, text: &str) -> Result<(), StoreError> {
-    static WRITE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let serial = WRITE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(".{}-{serial}.tmp", std::process::id()));
-    let tmp = PathBuf::from(tmp);
-    std::fs::write(&tmp, text).map_err(|e| io_error(&tmp, &e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io_error(path, &e))
+/// Resume path for shards the ledger does *not* vouch for: the manifest on
+/// disk is only reused if every record matches what this export would
+/// generate — file name (device), seed, swap count, instance index, and
+/// gate count per [`SuiteConfig::instance_seed`] over the shard's span.
+/// Shard contents are pure functions of those inputs, so a validated shard
+/// is byte-identical to a regenerated one; anything else fails validation
+/// and gets regenerated.
+fn read_shard_record_validated(
+    fs: &Fs,
+    root: &Path,
+    shard: usize,
+    device: DeviceKind,
+    config: &SuiteConfig,
+    span: &std::ops::Range<usize>,
+) -> Result<ShardRecord, StoreError> {
+    let (record, manifest) = read_shard_manifest(fs, root, shard)?;
+    let mismatch = |message: String| StoreError::Malformed {
+        path: root.join(shard_file_name(shard)).display().to_string(),
+        message,
+    };
+    if manifest.instances.len() != span.len() {
+        return Err(mismatch(format!(
+            "shard holds {} instances, config expects {}",
+            manifest.instances.len(),
+            span.len()
+        )));
+    }
+    for (offset, instance_record) in manifest.instances.iter().enumerate() {
+        let (count_index, instance) = config.instance_coordinates(span.start + offset);
+        let swap_count = config.swap_counts[count_index];
+        let seed = config.instance_seed(count_index, instance);
+        let expected_file = instance_file_name(device, swap_count, instance);
+        if instance_record.swap_count != swap_count
+            || instance_record.instance != instance
+            || instance_record.seed != seed
+            || instance_record.two_qubit_gates != config.two_qubit_gates
+            || instance_record.file != expected_file
+        {
+            return Err(mismatch(format!(
+                "instance {offset} does not match the configured suite (found {}, expected {expected_file} with seed {seed})",
+                instance_record.file
+            )));
+        }
+    }
+    Ok(record)
 }
 
 /// Exports a suite with no progress streaming (library/test convenience;

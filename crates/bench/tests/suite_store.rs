@@ -132,6 +132,7 @@ fn stored_optimality_matches_in_memory_and_caches() {
             node_budget: 10_000_000,
         },
         exact_swap_limit: 2,
+        exact_deadline_micros: None,
         threads: 2,
     };
 
@@ -168,6 +169,7 @@ fn eval_and_optimality_caches_are_disjoint() {
         suite,
         exact: ExactConfig::default(),
         exact_swap_limit: 1,
+        exact_deadline_micros: None,
         threads: 2,
     };
     let outcome = run_suite_optimality(&store, &config).expect("study");

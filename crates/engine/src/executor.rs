@@ -16,7 +16,7 @@
 //! [`EngineError`] naming the job and carrying the payload — not as a
 //! poisoned mutex three layers away.
 
-use crate::job::{JobContext, JobId, JobOutput, JobRecord};
+use crate::job::{JobContext, JobDeadline, JobId, JobOutput, JobRecord};
 use crate::progress::{as_micros, ProgressSink, RunSummary};
 use crate::threads::resolve_threads;
 use std::error::Error;
@@ -24,7 +24,7 @@ use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Why a run aborted. When several workers fail in the same run, the
 /// executor reports the *observed* failure closest to the start of the
@@ -49,6 +49,16 @@ pub enum EngineError {
         /// The panic payload, rendered to a string.
         payload: String,
     },
+    /// A job ran past the engine's enforced per-job deadline
+    /// ([`Engine::with_enforced_job_deadline`]). The job's output was still
+    /// produced (cancellation is cooperative), but the run aborts and
+    /// reports the overrun.
+    JobTimedOut {
+        /// The job that overran its budget.
+        id: JobId,
+        /// Wall-clock time the job actually took.
+        elapsed: Duration,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +70,9 @@ impl fmt::Display for EngineError {
             EngineError::WorkerSetupPanicked { worker, payload } => {
                 write!(f, "worker {worker} panicked during setup: {payload}")
             }
+            EngineError::JobTimedOut { id, elapsed } => {
+                write!(f, "{id} timed out after {:.3}s", elapsed.as_secs_f64())
+            }
         }
     }
 }
@@ -68,11 +81,13 @@ impl Error for EngineError {}
 
 impl EngineError {
     /// Ordering key: lower sorts first, and the executor keeps the smallest.
-    /// Setup failures precede all job failures; job failures order by id.
+    /// Setup failures precede all job failures; panics precede timeouts
+    /// (a panic is the harder fault); within a class, failures order by id.
     fn rank(&self) -> (usize, usize) {
         match self {
             EngineError::WorkerSetupPanicked { worker, .. } => (0, *worker),
             EngineError::JobPanicked { id, .. } => (1, id.index()),
+            EngineError::JobTimedOut { id, .. } => (2, id.index()),
         }
     }
 }
@@ -96,6 +111,8 @@ fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
 pub struct Engine {
     threads: usize,
     base_seed: u64,
+    job_deadline: Option<Duration>,
+    enforce_deadline: bool,
 }
 
 impl Engine {
@@ -106,6 +123,8 @@ impl Engine {
         Engine {
             threads,
             base_seed: 0,
+            job_deadline: None,
+            enforce_deadline: false,
         }
     }
 
@@ -113,6 +132,34 @@ impl Engine {
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
         self
+    }
+
+    /// Gives every job a wall-clock budget, delivered to the job closure as
+    /// [`JobContext::deadline`]. Cancellation is *cooperative*: the job is
+    /// expected to poll the deadline and degrade to a partial result (the
+    /// exact solver returns `unproven`); the executor checks again when the
+    /// job returns and reports overruns through
+    /// [`ProgressSink::job_deadline_exceeded`], but the run continues.
+    pub fn with_job_deadline(mut self, limit: Duration) -> Self {
+        self.job_deadline = Some(limit);
+        self.enforce_deadline = false;
+        self
+    }
+
+    /// Like [`with_job_deadline`](Self::with_job_deadline), but an overrun
+    /// also aborts the run with [`EngineError::JobTimedOut`] — for callers
+    /// that would rather fail a run than trust results from jobs that
+    /// ignored their budget. In-flight jobs still finish (cancellation
+    /// stays cooperative).
+    pub fn with_enforced_job_deadline(mut self, limit: Duration) -> Self {
+        self.job_deadline = Some(limit);
+        self.enforce_deadline = true;
+        self
+    }
+
+    /// The per-job wall-clock budget, if one was configured.
+    pub fn job_deadline(&self) -> Option<Duration> {
+        self.job_deadline
     }
 
     /// The concrete thread count a run over `jobs` jobs would use: the
@@ -175,6 +222,8 @@ impl Engine {
                         let make_worker = &make_worker;
                         let run_job = &run_job;
                         let base_seed = self.base_seed;
+                        let job_deadline = self.job_deadline;
+                        let enforce_deadline = self.enforce_deadline;
                         scope.spawn(move || {
                             let mut worker = match catch_unwind(AssertUnwindSafe(|| {
                                 make_worker(worker_index)
@@ -198,6 +247,7 @@ impl Engine {
                                     id,
                                     seed: id.derive_seed(base_seed),
                                     worker: worker_index,
+                                    deadline: job_deadline.map(JobDeadline::starting_now),
                                 };
                                 let job_started = Instant::now();
                                 match catch_unwind(AssertUnwindSafe(|| {
@@ -205,12 +255,28 @@ impl Engine {
                                 })) {
                                     Ok(value) => {
                                         let duration = job_started.elapsed();
-                                        sink.job_finished(&JobRecord {
+                                        let record = JobRecord {
                                             job: index,
                                             seed: context.seed,
                                             worker: worker_index,
                                             micros: as_micros(duration),
-                                        });
+                                        };
+                                        sink.job_finished(&record);
+                                        if let Some(deadline) = context.deadline {
+                                            if deadline.expired() {
+                                                sink.job_deadline_exceeded(
+                                                    &record,
+                                                    deadline.limit(),
+                                                );
+                                                if enforce_deadline {
+                                                    record_failure(EngineError::JobTimedOut {
+                                                        id,
+                                                        elapsed: deadline.elapsed(),
+                                                    });
+                                                    abort.store(true, Ordering::Relaxed);
+                                                }
+                                            }
+                                        }
                                         outputs.push(JobOutput {
                                             id,
                                             seed: context.seed,
@@ -359,7 +425,81 @@ mod tests {
             worker: 3,
             payload: String::new(),
         };
+        let timeout = EngineError::JobTimedOut {
+            id: JobId(0),
+            elapsed: Duration::from_secs(1),
+        };
         assert!(setup.rank() < early.rank());
         assert!(early.rank() < late.rank());
+        assert!(late.rank() < timeout.rank(), "panics outrank timeouts");
+    }
+
+    #[test]
+    fn jobs_without_deadline_see_none() {
+        let engine = Engine::new(1);
+        let outputs = engine
+            .run(&[0u8], |_| (), |_, ctx, _| ctx.deadline, &NullSink)
+            .expect("no panics");
+        assert_eq!(outputs[0].value, None);
+        assert_eq!(engine.job_deadline(), None);
+    }
+
+    #[test]
+    fn cooperative_deadline_reports_but_does_not_fail() {
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Default)]
+        struct Overruns(AtomicUsize);
+        impl ProgressSink for Overruns {
+            fn job_deadline_exceeded(&self, _record: &JobRecord, _limit: Duration) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let sink = Overruns::default();
+        let engine = Engine::new(1).with_job_deadline(Duration::from_millis(1));
+        let outputs = engine
+            .run(
+                &[0usize, 1],
+                |_| (),
+                |_, ctx, &job| {
+                    let deadline = ctx.deadline.expect("deadline configured");
+                    assert_eq!(deadline.limit(), Duration::from_millis(1));
+                    // Job 0 overruns its budget; job 1 finishes in time.
+                    if job == 0 {
+                        while !deadline.expired() {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                    job
+                },
+                &sink,
+            )
+            .expect("cooperative mode never fails the run");
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn enforced_deadline_aborts_with_timeout() {
+        let engine = Engine::new(1).with_enforced_job_deadline(Duration::from_millis(1));
+        let result = engine.run(
+            &[(), ()],
+            |_| (),
+            |_, ctx, _| {
+                let deadline = ctx.deadline.expect("deadline configured");
+                while !deadline.expired() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            },
+            &NullSink,
+        );
+        match result {
+            Err(EngineError::JobTimedOut { id, elapsed }) => {
+                assert_eq!(id, JobId(0));
+                assert!(elapsed >= Duration::from_millis(1));
+            }
+            other => panic!("expected timeout failure, got {other:?}"),
+        }
     }
 }

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Stable identity of one job within a run: its index in the worklist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -105,6 +105,53 @@ impl fmt::Display for JobKey {
     }
 }
 
+/// Wall-clock deadline for one job, started when the executor hands the job
+/// to its worker ([`crate::Engine::with_job_deadline`]).
+///
+/// Cancellation is *cooperative*: the executor cannot preempt a running
+/// closure, so long-running jobs are expected to poll
+/// [`expired`](Self::expired) (or pass [`expires_at`](Self::expires_at) to
+/// an interruptible solver) and degrade to a partial result. The executor
+/// checks again when the job returns and reports overruns through
+/// [`crate::ProgressSink::job_deadline_exceeded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobDeadline {
+    started: Instant,
+    limit: Duration,
+}
+
+impl JobDeadline {
+    /// A deadline of `limit` starting now.
+    pub fn starting_now(limit: Duration) -> Self {
+        JobDeadline {
+            started: Instant::now(),
+            limit,
+        }
+    }
+
+    /// The budget the job was given.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+
+    /// Wall-clock time since the deadline started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.started.elapsed() >= self.limit
+    }
+
+    /// The instant the budget runs out — the form interruptible solvers
+    /// take ([`Instant`] comparisons are cheaper than re-deriving elapsed
+    /// time in an inner loop).
+    pub fn expires_at(&self) -> Instant {
+        self.started + self.limit
+    }
+}
+
 /// Per-job execution context handed to the job closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobContext {
@@ -117,6 +164,9 @@ pub struct JobContext {
     /// runs or thread counts — use it only for worker-local bookkeeping,
     /// never for anything that feeds into results.
     pub worker: usize,
+    /// The job's wall-clock budget, when the engine was configured with one
+    /// ([`crate::Engine::with_job_deadline`]); `None` means unbounded.
+    pub deadline: Option<JobDeadline>,
 }
 
 /// One job's result along with its identity and measured wall-clock time.

@@ -54,7 +54,7 @@ pub mod progress;
 pub mod threads;
 
 pub use executor::{Engine, EngineError};
-pub use job::{JobContext, JobId, JobKey, JobOutput, JobRecord};
+pub use job::{JobContext, JobDeadline, JobId, JobKey, JobOutput, JobRecord};
 pub use progress::{
     NullSink, ProgressSink, RunSummary, StderrProgress, TeeSink, TimingReport, TimingSink,
 };

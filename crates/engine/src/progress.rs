@@ -41,6 +41,17 @@ pub trait ProgressSink: Sync {
         let _ = record;
     }
 
+    /// Called (after [`job_finished`](Self::job_finished)) when a job ran
+    /// past the engine's per-job deadline
+    /// ([`crate::Engine::with_job_deadline`]). `limit` is the configured
+    /// budget; the overrun is `record.micros` minus the budget. Cancellation
+    /// is cooperative, so this fires when the overrunning job *returns* —
+    /// jobs that degrade in time (e.g. a solver returning unproven at its
+    /// deadline) land close to the budget rather than far past it.
+    fn job_deadline_exceeded(&self, record: &JobRecord, limit: Duration) {
+        let _ = (record, limit);
+    }
+
     /// Called once after all results are merged.
     fn run_finished(&self, summary: &RunSummary) {
         let _ = summary;
@@ -198,6 +209,12 @@ impl ProgressSink for TeeSink<'_> {
     fn job_finished(&self, record: &JobRecord) {
         for sink in &self.sinks {
             sink.job_finished(record);
+        }
+    }
+
+    fn job_deadline_exceeded(&self, record: &JobRecord, limit: Duration) {
+        for sink in &self.sinks {
+            sink.job_deadline_exceeded(record, limit);
         }
     }
 

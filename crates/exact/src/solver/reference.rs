@@ -83,6 +83,7 @@ impl ReferenceSolver {
                         nodes_explored: nodes,
                         queries,
                         wall_micros: solve_start.elapsed().as_micros() as u64,
+                        deadline_exceeded: false,
                     };
                 }
                 Feasibility::Infeasible => continue,
@@ -95,6 +96,7 @@ impl ReferenceSolver {
             nodes_explored: nodes,
             queries,
             wall_micros: solve_start.elapsed().as_micros() as u64,
+            deadline_exceeded: false,
         }
     }
 }
