@@ -1,9 +1,15 @@
 //! Benchmark behind the §IV-C case study (experiment E6): routing from the
-//! known-optimal initial mapping with uniform versus decayed lookahead.
+//! known-optimal initial mapping under a sweep of lookahead policies.
+//!
+//! The sweep goes through the kernel's [`WindowLookahead`] policy (via
+//! [`SabreConfig::with_lookahead`]) — the same axis the composition matrix
+//! enumerates — instead of mutating individual config fields, so the bench
+//! exercises exactly what an ablation run builds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qubikos::{generate, GeneratorConfig};
 use qubikos_arch::DeviceKind;
+use qubikos_layout::kernel::WindowLookahead;
 use qubikos_layout::{SabreConfig, SabreRouter};
 use std::hint::black_box;
 
@@ -13,15 +19,30 @@ fn bench_lookahead_variants(c: &mut Criterion) {
         generate(&arch, &GeneratorConfig::new(4, 150).with_seed(6)).expect("generates");
     let mut group = c.benchmark_group("sabre_lookahead_aspen4");
     group.sample_size(10);
-    let variants: [(&str, Option<f64>); 3] = [
-        ("uniform", None),
-        ("decay_0.7", Some(0.7)),
-        ("decay_0.4", Some(0.4)),
+    let variants: [(&str, WindowLookahead); 4] = [
+        ("front_only", WindowLookahead::front_only()),
+        ("uniform", WindowLookahead::sabre_default()),
+        (
+            "decay_0.7",
+            WindowLookahead {
+                depth_decay: Some(0.7),
+                ..WindowLookahead::sabre_default()
+            },
+        ),
+        (
+            "decay_0.4",
+            WindowLookahead {
+                depth_decay: Some(0.4),
+                ..WindowLookahead::sabre_default()
+            },
+        ),
     ];
-    for (name, decay) in variants {
-        let mut config = SabreConfig::default().with_seed(5);
-        config.lookahead_decay = decay;
-        let router = SabreRouter::new(config);
+    for (name, lookahead) in variants {
+        let router = SabreRouter::new(
+            SabreConfig::default()
+                .with_seed(5)
+                .with_lookahead(lookahead),
+        );
         group.bench_with_input(BenchmarkId::from_parameter(name), &router, |b, router| {
             b.iter(|| {
                 black_box(

@@ -1,16 +1,28 @@
-//! Design ablations called out in DESIGN.md: how the SABRE trial count and
-//! extended-set size change the optimality gap, and how redundant-gate
-//! padding changes benchmark difficulty.
+//! Design ablations: the legacy SABRE parameter sweeps, plus the router
+//! construction kit's **composition matrix**.
 //!
-//! Formerly inline in the `ablations` binary and fully sequential; now a
-//! library module so the sweeps run on the [`qubikos_engine`] executor (one
-//! job per circuit, per-worker router reuse) and the binary only parses
-//! flags and renders.
+//! The legacy half ([`run_ablations`]) keeps the three hand-picked sweeps
+//! called out in DESIGN.md (trial count, extended-set size, padding). The
+//! matrix half enumerates the composition cross-product of a
+//! [`CompositionGrid`] — one [`RouterSpec`](qubikos_layout::RouterSpec) per
+//! surviving grid point after
+//! [`canonicalization`](qubikos_layout::RouterSpec::canonicalized) prunes
+//! redundant combinations — and runs every composition against a stored
+//! known-optimal suite ([`run_composition_matrix`]), ranking compositions
+//! by mean optimality gap and win rate. Results are banked in the suite
+//! store's content-addressed cache under the composition's
+//! [`id`](qubikos_layout::RouterSpec::id) as the namespace, so a rerun of
+//! the same grid on the same corpus is answered entirely from cache.
 
+use crate::evaluation::{all_pairs, cell_gap, route_and_count, CachedRouting, DEFAULT_TOOL_SEED};
+use crate::store::{StoreError, SuiteStore};
 use qubikos::{generate_suite, ExperimentPoint, GenerateError, SuiteConfig};
 use qubikos_arch::{Architecture, DeviceKind};
-use qubikos_engine::{Engine, NullSink, ProgressSink, AUTO_THREADS};
-use qubikos_layout::{validate_routing, Router, SabreConfig, SabreRouter};
+use qubikos_engine::{Engine, JobKey, NullSink, ProgressSink, AUTO_THREADS};
+use qubikos_layout::{
+    validate_routing, DecaySpec, LookaheadSpec, PlacementSpec, Router, RouterSpec, SabreConfig,
+    SabreRouter, SearchSpec, TieBreakerSpec, WeightsSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the ablation sweeps.
@@ -242,6 +254,515 @@ fn mean_ratio_on(
     ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
 }
 
+/// One choice-list per policy axis of the router construction kit. The
+/// matrix runs the full cross-product, canonicalized and deduplicated: a
+/// grid point whose axes cannot change routing behaviour (an A* search
+/// paired with a decay schedule, a zero-increment decay, …) collapses onto
+/// its canonical spec and is enumerated once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositionGrid {
+    /// Search engines to cross.
+    pub searches: Vec<SearchSpec>,
+    /// Lookahead policies to cross.
+    pub lookaheads: Vec<LookaheadSpec>,
+    /// Decay schedules to cross.
+    pub decays: Vec<DecaySpec>,
+    /// Tie-breakers to cross.
+    pub tie_breakers: Vec<TieBreakerSpec>,
+    /// Placement strategies to cross.
+    pub placements: Vec<PlacementSpec>,
+    /// Coupler-weight models to cross.
+    pub weights: Vec<WeightsSpec>,
+}
+
+impl CompositionGrid {
+    /// A grid that runs in seconds on a quick suite but still exercises
+    /// every axis: two greedy search shapes plus a small A*, front-only vs
+    /// published lookahead, decay on/off, random vs first-candidate ties,
+    /// greedy-BFS vs identity placement, uniform vs fidelity-derived
+    /// weights. 96 raw points, 66 after pruning.
+    pub fn quick() -> Self {
+        CompositionGrid {
+            searches: vec![
+                SearchSpec::Greedy {
+                    trials: 2,
+                    mapping_passes: 1,
+                    stall_threshold: 64,
+                },
+                SearchSpec::Greedy {
+                    trials: 2,
+                    mapping_passes: 2,
+                    stall_threshold: 64,
+                },
+                SearchSpec::AStar {
+                    max_expansions: 256,
+                },
+            ],
+            lookaheads: vec![LookaheadSpec::front_only(), LookaheadSpec::sabre_default()],
+            decays: vec![DecaySpec::None, DecaySpec::sabre_default()],
+            tie_breakers: vec![TieBreakerSpec::SeededRandom, TieBreakerSpec::QubitIndex],
+            placements: vec![PlacementSpec::GreedyBfs, PlacementSpec::Identity],
+            weights: vec![WeightsSpec::Uniform, WeightsSpec::Fidelity { seed: 1 }],
+        }
+    }
+
+    /// The full matrix for overnight runs: every tie-breaker and placement,
+    /// four lookahead windows, the paper tools' search shapes.
+    pub fn paper() -> Self {
+        CompositionGrid {
+            searches: vec![
+                SearchSpec::Greedy {
+                    trials: 1,
+                    mapping_passes: 1,
+                    stall_threshold: 64,
+                },
+                SearchSpec::Greedy {
+                    trials: 4,
+                    mapping_passes: 1,
+                    stall_threshold: 64,
+                },
+                SearchSpec::Greedy {
+                    trials: 16,
+                    mapping_passes: 3,
+                    stall_threshold: 64,
+                },
+                SearchSpec::AStar {
+                    max_expansions: 4000,
+                },
+            ],
+            lookaheads: vec![
+                LookaheadSpec::front_only(),
+                LookaheadSpec {
+                    window: 5,
+                    extended_set_weight: 0.5,
+                    depth_decay: None,
+                },
+                LookaheadSpec::sabre_default(),
+                LookaheadSpec {
+                    window: 40,
+                    extended_set_weight: 0.5,
+                    depth_decay: None,
+                },
+            ],
+            decays: vec![DecaySpec::None, DecaySpec::sabre_default()],
+            tie_breakers: vec![
+                TieBreakerSpec::SeededRandom,
+                TieBreakerSpec::QubitIndex,
+                TieBreakerSpec::DistanceRefined,
+            ],
+            placements: vec![
+                PlacementSpec::GreedyBfs,
+                PlacementSpec::Multilevel,
+                PlacementSpec::Identity,
+            ],
+            weights: vec![WeightsSpec::Uniform, WeightsSpec::Fidelity { seed: 1 }],
+        }
+    }
+
+    /// The raw cross-product size before canonicalization and dedup.
+    pub fn raw_combinations(&self) -> usize {
+        self.searches.len()
+            * self.lookaheads.len()
+            * self.decays.len()
+            * self.tie_breakers.len()
+            * self.placements.len()
+            * self.weights.len()
+    }
+
+    /// Enumerates the cross-product in axis order (searches outermost,
+    /// weights innermost), canonicalizing every point and keeping only the
+    /// first occurrence of each distinct composition id. The order is fully
+    /// determined by the grid, so composition indices are stable across
+    /// runs and thread counts.
+    pub fn enumerate(&self) -> Vec<RouterSpec> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut specs = Vec::new();
+        for &search in &self.searches {
+            for &lookahead in &self.lookaheads {
+                for &decay in &self.decays {
+                    for &tie_breaker in &self.tie_breakers {
+                        for &placement in &self.placements {
+                            for &weights in &self.weights {
+                                let spec = RouterSpec {
+                                    search,
+                                    lookahead,
+                                    decay,
+                                    tie_breaker,
+                                    placement,
+                                    weights,
+                                }
+                                .canonicalized();
+                                if seen.insert(spec.id()) {
+                                    specs.push(spec);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// Configuration of one composition-matrix run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixConfig {
+    /// The grid to enumerate.
+    pub grid: CompositionGrid,
+    /// Routing seed handed to every composition. Cached results record the
+    /// seed they were produced with; a different seed reads as a miss.
+    pub tool_seed: u64,
+    /// Number of worker threads ([`AUTO_THREADS`] = all available cores).
+    /// The report is bit-identical for any value.
+    pub threads: usize,
+    /// Truncates the enumerated (pruned) composition list to the first `N`
+    /// entries — the smoke-test hook.
+    pub max_compositions: Option<usize>,
+}
+
+impl MatrixConfig {
+    /// The quick grid with the evaluation pipeline's standard tool seed.
+    pub fn quick() -> Self {
+        MatrixConfig {
+            grid: CompositionGrid::quick(),
+            tool_seed: DEFAULT_TOOL_SEED,
+            threads: AUTO_THREADS,
+            max_compositions: None,
+        }
+    }
+
+    /// Returns the configuration with an explicit thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns the configuration truncated to the first `max` compositions.
+    pub fn with_max_compositions(mut self, max: usize) -> Self {
+        self.max_compositions = Some(max);
+        self
+    }
+
+    /// The compositions this run covers: the grid's pruned enumeration,
+    /// truncated to `max_compositions` when set.
+    pub fn compositions(&self) -> Vec<RouterSpec> {
+        let mut specs = self.grid.enumerate();
+        if let Some(max) = self.max_compositions {
+            specs.truncate(max);
+        }
+        specs
+    }
+}
+
+/// One ranked row of the matrix report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositionSummary {
+    /// The composition's stable identity (also its cache namespace).
+    pub id: String,
+    /// The spec behind the id.
+    pub spec: RouterSpec,
+    /// Instances the composition was scored on.
+    pub instances: usize,
+    /// Mean inserted SWAPs per instance.
+    pub average_swaps: f64,
+    /// Mean per-instance optimality gap (SWAP ratio; absolute excess on
+    /// zero-optimum instances — see `EvaluationCell::swap_ratio`).
+    pub mean_gap: f64,
+    /// Instances on which the composition matched the best SWAP count any
+    /// enumerated composition achieved (ties all win).
+    pub wins: usize,
+    /// `wins / instances`.
+    pub win_rate: f64,
+    /// Instances routed at exactly the designed (known-optimal) SWAP count.
+    pub optimal: usize,
+}
+
+/// The ranked composition matrix: one row per composition, best mean gap
+/// first (ties broken by id, so the ranking is total and reproducible).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixReport {
+    /// Device the stored suite targets.
+    pub device: DeviceKind,
+    /// Instances every composition was scored on.
+    pub instances: usize,
+    /// Ranked rows.
+    pub compositions: Vec<CompositionSummary>,
+}
+
+/// Result of a matrix run: the ranked report plus how much work the
+/// per-composition cache saved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixOutcome {
+    /// The ranked report.
+    pub report: MatrixReport,
+    /// (composition, circuit) pairs actually routed in this run.
+    pub routed: usize,
+    /// (composition, circuit) pairs answered from the result cache.
+    pub cache_hits: usize,
+    /// Shards processed this run.
+    pub shards: usize,
+    /// Shards quarantined as persistently corrupt and skipped.
+    pub shards_quarantined: usize,
+    /// Whether the whole corpus was covered.
+    pub complete: bool,
+}
+
+/// Runs the composition matrix against a stored known-optimal suite,
+/// reading and writing the store's content-addressed result cache under
+/// each composition's id as the namespace.
+///
+/// Streams shard by shard exactly like the suite evaluation: at most one
+/// shard of circuits is materialized, and only when at least one of its
+/// (composition, circuit) pairs misses the cache; a rerun of the same grid
+/// is 100% cache hits and loads no circuits at all.
+///
+/// # Errors
+///
+/// Propagates [`StoreError`] from loading a shard or writing cache entries.
+/// A corrupt cache *entry* reads as a miss and is recomputed; a corrupt
+/// *shard* is quarantined and skipped.
+///
+/// # Panics
+///
+/// Panics if a composition produces an invalid routing (a kit bug, never a
+/// benchmark property), or if the grid enumerates no compositions.
+pub fn run_composition_matrix(
+    store: &SuiteStore,
+    config: &MatrixConfig,
+    sink: &dyn ProgressSink,
+) -> Result<MatrixOutcome, StoreError> {
+    run_composition_matrix_partial(store, config, None, sink)
+}
+
+/// [`run_composition_matrix`] truncated to the first `stop_after_shards`
+/// shards (the resume/CI hook; per-pair results are banked as produced, so
+/// a rerun answers processed shards from cache).
+///
+/// # Errors
+///
+/// # Panics
+///
+/// As [`run_composition_matrix`].
+pub fn run_composition_matrix_partial(
+    store: &SuiteStore,
+    config: &MatrixConfig,
+    stop_after_shards: Option<usize>,
+    sink: &dyn ProgressSink,
+) -> Result<MatrixOutcome, StoreError> {
+    let device = store.device();
+    let arch = device.build();
+    let compositions: Vec<(String, RouterSpec)> = config
+        .compositions()
+        .into_iter()
+        .map(|spec| (spec.id(), spec))
+        .collect();
+    assert!(
+        !compositions.is_empty(),
+        "composition grid enumerates no compositions"
+    );
+    let shards = stop_after_shards
+        .unwrap_or(usize::MAX)
+        .min(store.shard_count());
+    let mut fold = MatrixFold::new(compositions.len());
+    let mut routed_total = 0;
+    let mut cache_hits = 0;
+    let mut shards_quarantined = 0;
+
+    for shard in 0..shards {
+        match matrix_shard(store, &compositions, config, &arch, shard, sink) {
+            Ok((designed, swaps, routed, hits)) => {
+                fold.add_shard(&designed, &swaps);
+                routed_total += routed;
+                cache_hits += hits;
+            }
+            Err(error) if error.is_corruption() => {
+                store.quarantine_shard_error(shard, &error);
+                shards_quarantined += 1;
+            }
+            Err(error) => return Err(error),
+        }
+    }
+
+    Ok(MatrixOutcome {
+        report: fold.finish(device, &compositions),
+        routed: routed_total,
+        cache_hits,
+        shards,
+        shards_quarantined,
+        complete: shards == store.shard_count(),
+    })
+}
+
+/// Scores one shard for every composition: cache lookups first, engine
+/// routing of the misses (per-worker composed routers, results persisted
+/// from inside each job), then the resolved SWAP counts in point-major job
+/// order alongside each instance's designed count.
+#[allow(clippy::type_complexity)]
+fn matrix_shard(
+    store: &SuiteStore,
+    compositions: &[(String, RouterSpec)],
+    config: &MatrixConfig,
+    arch: &Architecture,
+    shard: usize,
+    sink: &dyn ProgressSink,
+) -> Result<(Vec<usize>, Vec<usize>, usize, usize), StoreError> {
+    let records = store.shard_records(shard)?;
+    let jobs: Vec<(usize, usize)> = all_pairs(records.len(), compositions.len());
+    let job_key = |&(comp_index, point_index): &(usize, usize)| {
+        JobKey::new(
+            &compositions[comp_index].0,
+            &records[point_index].content_hash,
+        )
+    };
+
+    // Resolve the cache first: only misses become engine jobs. An entry is
+    // keyed by composition identity, so two compositions never share (or
+    // clobber) each other's results, and an entry produced under a
+    // different routing seed reads as a miss.
+    let mut swaps: Vec<Option<usize>> = jobs
+        .iter()
+        .map(|job| {
+            let cached: CachedRouting = store.read_cached(&job_key(job))?;
+            (cached.tool_seed == config.tool_seed
+                && cached.circuit_hash == records[job.1].content_hash)
+                .then_some(cached.swaps)
+        })
+        .collect();
+    let misses: Vec<(usize, usize)> = jobs
+        .iter()
+        .zip(&swaps)
+        .filter(|(_, cached)| cached.is_none())
+        .map(|(&job, _)| job)
+        .collect();
+
+    if !misses.is_empty() {
+        let loaded = store.load_shard(shard)?;
+        let engine = Engine::new(config.threads).with_base_seed(config.tool_seed);
+        let routed: Vec<usize> = engine
+            .run_values(
+                &misses,
+                |_worker| {
+                    compositions
+                        .iter()
+                        .map(|(id, spec)| spec.build_named(config.tool_seed, id.clone()))
+                        .collect::<Vec<_>>()
+                },
+                |routers, _ctx, job: &(usize, usize)| -> Result<usize, StoreError> {
+                    let swaps = route_and_count(&routers[job.0], &loaded[job.1], arch);
+                    store.write_cached(
+                        &job_key(job),
+                        &CachedRouting {
+                            tool: compositions[job.0].0.clone(),
+                            tool_seed: config.tool_seed,
+                            circuit_hash: records[job.1].content_hash.clone(),
+                            swaps,
+                        },
+                    )?;
+                    Ok(swaps)
+                },
+                sink,
+            )
+            .unwrap_or_else(|error| panic!("composition matrix aborted: {error}"))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+
+        let mut fresh = routed.iter();
+        for slot in swaps.iter_mut().filter(|slot| slot.is_none()) {
+            *slot = Some(*fresh.next().expect("one routed result per miss"));
+        }
+    }
+
+    let designed = records.iter().map(|r| r.swap_count).collect();
+    let resolved = swaps
+        .into_iter()
+        .map(|slot| slot.expect("every job resolved"))
+        .collect();
+    Ok((designed, resolved, misses.len(), jobs.len() - misses.len()))
+}
+
+/// Per-composition accumulator behind the matrix report. Sums are folded
+/// shard by shard in shard order, and within a shard in point-major job
+/// order, so the finished report is bit-identical for any thread count
+/// (the engine returns results in job order regardless of scheduling).
+struct MatrixFold {
+    stats: Vec<CompositionStats>,
+}
+
+#[derive(Clone, Default)]
+struct CompositionStats {
+    instances: usize,
+    sum_swaps: u64,
+    gap_sum: f64,
+    wins: usize,
+    optimal: usize,
+}
+
+impl MatrixFold {
+    fn new(compositions: usize) -> Self {
+        MatrixFold {
+            stats: vec![CompositionStats::default(); compositions],
+        }
+    }
+
+    /// Folds one shard: `swaps` holds every composition's SWAP count in
+    /// point-major job order (`swaps[point * compositions + comp]`). Wins
+    /// are judged within the enumerated matrix: every composition matching
+    /// the instance's best count wins that instance.
+    fn add_shard(&mut self, designed: &[usize], swaps: &[usize]) {
+        let n = self.stats.len();
+        debug_assert_eq!(designed.len() * n, swaps.len());
+        for (point_index, &optimal_swaps) in designed.iter().enumerate() {
+            let row = &swaps[point_index * n..(point_index + 1) * n];
+            let best = *row.iter().min().expect("at least one composition");
+            for (comp_index, &inserted) in row.iter().enumerate() {
+                let stats = &mut self.stats[comp_index];
+                stats.instances += 1;
+                stats.sum_swaps += inserted as u64;
+                stats.gap_sum += cell_gap(inserted as f64, optimal_swaps);
+                if inserted == best {
+                    stats.wins += 1;
+                }
+                if inserted <= optimal_swaps {
+                    stats.optimal += 1;
+                }
+            }
+        }
+    }
+
+    /// Renders the ranked report: best mean gap first, ties broken by id so
+    /// the order is total and identical across runs.
+    fn finish(self, device: DeviceKind, compositions: &[(String, RouterSpec)]) -> MatrixReport {
+        let instances = self.stats.first().map_or(0, |s| s.instances);
+        let mut rows: Vec<CompositionSummary> = self
+            .stats
+            .into_iter()
+            .zip(compositions)
+            .map(|(stats, (id, spec))| CompositionSummary {
+                id: id.clone(),
+                spec: *spec,
+                instances: stats.instances,
+                average_swaps: stats.sum_swaps as f64 / stats.instances.max(1) as f64,
+                mean_gap: stats.gap_sum / stats.instances.max(1) as f64,
+                wins: stats.wins,
+                win_rate: stats.wins as f64 / stats.instances.max(1) as f64,
+                optimal: stats.optimal,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            a.mean_gap
+                .partial_cmp(&b.mean_gap)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        MatrixReport {
+            device,
+            instances,
+            compositions: rows,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +792,141 @@ mod tests {
         let reference = run_ablations(&AblationConfig::quick().with_threads(1)).expect("valid");
         let parallel = run_ablations(&AblationConfig::quick().with_threads(8)).expect("valid");
         assert_eq!(reference, parallel);
+    }
+
+    #[test]
+    fn quick_grid_enumerates_a_pruned_cross_product() {
+        let grid = CompositionGrid::quick();
+        let specs = grid.enumerate();
+        assert!(
+            specs.len() >= 24,
+            "quick grid must enumerate at least 24 distinct compositions, got {}",
+            specs.len()
+        );
+        assert!(
+            specs.len() < grid.raw_combinations(),
+            "canonicalization must prune redundant grid points ({} raw)",
+            grid.raw_combinations()
+        );
+        let ids: std::collections::BTreeSet<String> = specs.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), specs.len(), "composition ids must be unique");
+        // Every surviving A* point is canonical: the axes A* ignores are
+        // pinned to their neutral values.
+        for spec in &specs {
+            if let SearchSpec::AStar { .. } = spec.search {
+                assert_eq!(spec.lookahead, LookaheadSpec::front_only());
+                assert_eq!(spec.decay, DecaySpec::None);
+                assert_eq!(spec.weights, WeightsSpec::Uniform);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_grid_is_a_superset_in_every_axis() {
+        let paper = CompositionGrid::paper();
+        assert!(paper.enumerate().len() > CompositionGrid::quick().enumerate().len());
+        assert!(paper.tie_breakers.len() == 3 && paper.placements.len() == 3);
+    }
+
+    #[test]
+    fn max_compositions_truncates_the_stable_enumeration() {
+        let config = MatrixConfig::quick().with_max_compositions(8);
+        let truncated = config.compositions();
+        assert_eq!(truncated.len(), 8);
+        assert_eq!(&MatrixConfig::quick().compositions()[..8], &truncated[..]);
+    }
+
+    fn fresh_store(name: &str) -> SuiteStore {
+        let dir =
+            std::env::temp_dir().join(format!("qubikos-matrix-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let suite = SuiteConfig {
+            swap_counts: vec![1, 2],
+            circuits_per_count: 2,
+            two_qubit_gates: 20,
+            base_seed: 5,
+        };
+        SuiteStore::export(&dir, DeviceKind::Grid3x3, &suite, 2, &NullSink).expect("export")
+    }
+
+    #[test]
+    fn matrix_ranks_compositions_and_reruns_from_cache() {
+        let store = fresh_store("rank-and-cache");
+        let config = MatrixConfig::quick()
+            .with_threads(2)
+            .with_max_compositions(12);
+        let cold = run_composition_matrix(&store, &config, &NullSink).expect("cold run");
+        let pairs = 12 * store.total_instances();
+        assert_eq!(cold.routed, pairs);
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cold.complete);
+        assert_eq!(cold.report.compositions.len(), 12);
+        assert_eq!(cold.report.instances, store.total_instances());
+        // Ranked: mean gap is non-decreasing, ties broken by id.
+        for pair in cold.report.compositions.windows(2) {
+            assert!(
+                pair[0].mean_gap < pair[1].mean_gap
+                    || (pair[0].mean_gap == pair[1].mean_gap && pair[0].id < pair[1].id),
+                "rows out of rank order: {} then {}",
+                pair[0].id,
+                pair[1].id
+            );
+        }
+        // Every instance has at least one winner, and win/optimal counts
+        // stay within the instance count.
+        let wins: usize = cold.report.compositions.iter().map(|c| c.wins).sum();
+        assert!(wins >= store.total_instances());
+        for row in &cold.report.compositions {
+            assert_eq!(row.instances, store.total_instances());
+            assert!(row.wins <= row.instances && row.optimal <= row.instances);
+            assert!(row.mean_gap >= 1.0 - 1e-9);
+        }
+
+        // The acceptance property: a rerun of the same grid on the same
+        // corpus is answered 100% from the per-composition cache.
+        let warm = run_composition_matrix(&store, &config, &NullSink).expect("warm run");
+        assert_eq!(warm.routed, 0, "rerun must be all cache hits");
+        assert_eq!(warm.cache_hits, pairs);
+        assert_eq!(warm.report, cold.report);
+    }
+
+    #[test]
+    fn matrix_reports_identical_across_thread_counts() {
+        // Two independent stores (separate caches), one cold run each: the
+        // report depends only on the grid and the corpus, not on threads.
+        let single = run_composition_matrix(
+            &fresh_store("threads-1"),
+            &MatrixConfig::quick()
+                .with_threads(1)
+                .with_max_compositions(10),
+            &NullSink,
+        )
+        .expect("single-threaded run");
+        let parallel = run_composition_matrix(
+            &fresh_store("threads-8"),
+            &MatrixConfig::quick()
+                .with_threads(8)
+                .with_max_compositions(10),
+            &NullSink,
+        )
+        .expect("parallel run");
+        assert_eq!(single.report, parallel.report);
+    }
+
+    #[test]
+    fn matrix_cache_entries_are_keyed_by_composition_identity() {
+        // A different tool seed must re-route everything: entries record
+        // the seed they were produced with and read as misses otherwise.
+        let store = fresh_store("seed-miss");
+        let config = MatrixConfig::quick()
+            .with_threads(2)
+            .with_max_compositions(4);
+        let cold = run_composition_matrix(&store, &config, &NullSink).expect("cold");
+        assert_eq!(cold.cache_hits, 0);
+        let mut reseeded = config.clone();
+        reseeded.tool_seed = config.tool_seed + 1;
+        let miss = run_composition_matrix(&store, &reseeded, &NullSink).expect("reseeded");
+        assert_eq!(miss.cache_hits, 0, "a different seed must miss the cache");
+        assert_eq!(miss.routed, 4 * store.total_instances());
     }
 }

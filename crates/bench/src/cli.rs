@@ -18,7 +18,9 @@
 //! | [`EXIT_VERIFY`] (3) | the run completed and found verification or optimality failures |
 //! | [`EXIT_TIMEOUT`] (4) | the run completed with no failures, but at least one job exceeded its wall-clock deadline |
 
-use crate::ablations::{run_ablations_with_sink, AblationConfig};
+use crate::ablations::{
+    run_ablations_with_sink, run_composition_matrix, AblationConfig, MatrixConfig,
+};
 use crate::analytics::{run_suite_analytics_with_sink, AnalyticsConfig};
 use crate::case_study::{run_case_study, CaseStudyConfig};
 use crate::evaluation::{
@@ -30,14 +32,15 @@ use crate::optimality::{
     run_optimality_study_with_sink, run_suite_optimality_with_sink, OptimalityConfig,
 };
 use crate::report::{
-    render_ablations, render_aggregate, render_analytics, render_case_study, render_evaluation,
-    render_optimality,
+    render_ablations, render_aggregate, render_analytics, render_case_study,
+    render_composition_matrix, render_evaluation, render_optimality,
 };
 use crate::store::{ExportOptions, SuiteStore};
 use qubikos_arch::DeviceKind;
 use qubikos_engine::{
     threads_from_args, ProgressSink, StderrProgress, TeeSink, TimingSink, AUTO_THREADS,
 };
+use qubikos_layout::{ToolKind, ToolParseError};
 
 /// Exit code: the run completed and every check passed.
 pub const EXIT_OK: i32 = 0;
@@ -143,13 +146,15 @@ USAGE:
       scaling curves) folded shard-by-shard from the results/ cache a prior
       `eval --suite` run banked — no circuits are loaded, memory stays flat,
       and the report is bit-identical at any thread count.
-  qubikos eval [--arch DEV | --all] [--full] [--threads N]
+  qubikos eval [--arch DEV | --all] [--tools LIST] [--full] [--threads N]
                [--timing-json PATH] [--suite DIR] [--require-cached]
       Figure-4 tool evaluation. With --suite, runs from the stored corpus
       and the content-addressed result cache (already-evaluated
       (tool, circuit) pairs are not routed again); --require-cached exits
       nonzero unless every pair was a cache hit. --arch/--full apply only
-      to in-memory runs (with --suite the manifest fixes both) and
+      to in-memory runs (with --suite the manifest fixes both),
+      --tools restricts the run to a comma-separated subset (an
+      unrecognized name errors with a did-you-mean suggestion), and
       --timing-json records the jobs that actually ran.
   qubikos optimality [--full | --smoke] [--threads N] [--suite DIR]
                      [--exact-deadline-ms N]
@@ -163,9 +168,21 @@ USAGE:
   qubikos case-study [--decay D] [--full] [--threads N]
       §IV-C LightSABRE lookahead case study.
   qubikos ablations [--threads N]
-      Design ablation sweeps.
+      The legacy hand-picked SABRE parameter sweeps.
+  qubikos ablations --grid --suite DIR [--full] [--json PATH]
+                    [--list-compositions] [--max-compositions N]
+                    [--require-cached] [--timing-json PATH] [--threads N]
+      Router-construction-kit ablation matrix: enumerates the composition
+      cross-product of the policy axes (search, lookahead, decay,
+      tie-breaking, placement, coupler weights), prunes redundant points,
+      routes every composition against the stored known-optimal suite, and
+      ranks compositions by mean optimality gap and win rate. Results are
+      cached per composition id, so a rerun is answered from cache and
+      --require-cached exits 1 unless it was. --list-compositions prints
+      the pruned enumeration and exits; --full swaps in the overnight grid.
 
-DEV: grid | aspen4 | sycamore | rochester | eagle | osprey
+DEV:   grid | aspen4 | sycamore | rochester | eagle | osprey
+TOOLS: lightsabre | tket | ml-qls | qmap (comma-separated)
 
 EXIT CODES:
   0  success — the run completed and every check passed
@@ -263,6 +280,41 @@ fn parse_arch(args: &[String]) -> Result<Option<DeviceKind>, Box<dyn std::error:
                 Err(format!("--arch: {err} (known devices: {})", known.join(" | ")).into())
             }
         },
+    }
+}
+
+/// Parses `--tools LIST` (comma-separated tool names), erroring on an
+/// unrecognized name with the parser's did-you-mean suggestion and the full
+/// known-tool list — a typo must never silently evaluate the wrong tool
+/// set. Duplicates collapse to the first occurrence.
+fn parse_tools(args: &[String]) -> Result<Option<Vec<ToolKind>>, Box<dyn std::error::Error>> {
+    match arg_value(args, "--tools") {
+        None if flag_present(args, "--tools") => {
+            Err("--tools requires a comma-separated list of tool names".into())
+        }
+        None => Ok(None),
+        Some(list) => {
+            let mut tools: Vec<ToolKind> = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                match ToolKind::parse(name) {
+                    Ok(tool) => {
+                        if !tools.contains(&tool) {
+                            tools.push(tool);
+                        }
+                    }
+                    Err(err) => {
+                        let known: Vec<&str> = ToolParseError::known_tools().collect();
+                        return Err(
+                            format!("--tools: {err} (known tools: {})", known.join(" | ")).into(),
+                        );
+                    }
+                }
+            }
+            if tools.is_empty() {
+                return Err("--tools requires at least one tool name".into());
+            }
+            Ok(Some(tools))
+        }
     }
 }
 
@@ -397,7 +449,10 @@ pub fn eval_command(args: &[String]) -> CommandOutcome {
             );
         }
         let store = SuiteStore::open(&dir)?;
-        let config = SuiteEvalConfig::default().with_threads(threads);
+        let mut config = SuiteEvalConfig::default().with_threads(threads);
+        if let Some(tools) = parse_tools(args)? {
+            config.tools = tools;
+        }
         let progress =
             StderrProgress::new(format!("evaluate {} (suite)", store.device().name()), 20);
         let timing = TimingSink::new();
@@ -447,15 +502,19 @@ pub fn eval_command(args: &[String]) -> CommandOutcome {
         None => DeviceKind::EVALUATION.to_vec(),
     };
 
+    let tools = parse_tools(args)?;
     let mut reports = Vec::new();
     let mut timings = Vec::new();
     for device in devices {
-        let config = if full {
+        let mut config = if full {
             EvaluationConfig::paper(device)
         } else {
             EvaluationConfig::quick(device)
         }
         .with_threads(threads);
+        if let Some(tools) = &tools {
+            config.tools = tools.clone();
+        }
         eprintln!(
             "running tool evaluation on {} ({} circuits, {} two-qubit gates each)...",
             device.name(),
@@ -602,20 +661,124 @@ pub fn case_study_command(args: &[String]) -> CommandOutcome {
     Ok(0)
 }
 
-/// `qubikos ablations` / the `ablations` bin.
+/// `qubikos ablations` / the `ablations` bin. Without `--grid`, the legacy
+/// hand-picked SABRE sweeps; with `--grid`, the router construction kit's
+/// composition matrix against a stored known-optimal suite.
 ///
 /// # Errors
 ///
-/// Generation errors.
+/// Generation or store errors.
 pub fn ablations_command(args: &[String]) -> CommandOutcome {
-    let config =
-        AblationConfig::paper().with_threads(threads_from_args(args).unwrap_or(AUTO_THREADS));
+    let threads = threads_from_args(args).unwrap_or(AUTO_THREADS);
+    if flag_present(args, "--grid") {
+        return ablations_grid_command(args, threads);
+    }
+    if flag_present(args, "--suite") || flag_present(args, "--list-compositions") {
+        return Err(
+            "--suite/--list-compositions apply only to the composition matrix; add --grid".into(),
+        );
+    }
+    let config = AblationConfig::paper().with_threads(threads);
     // One sink across all sweeps: each engine run restarts the progress
     // counter, so the multi-minute paper sweep streams per-run progress.
     let progress = StderrProgress::new("ablations".to_string(), 3);
     let report = run_ablations_with_sink(&config, &progress)?;
     print!("{}", render_ablations(&report));
     Ok(0)
+}
+
+/// `qubikos ablations --grid`: enumerate the (pruned) composition
+/// cross-product, rank it against a stored known-optimal suite through the
+/// per-composition result cache, and render/export the ranking.
+fn ablations_grid_command(args: &[String], threads: usize) -> CommandOutcome {
+    let mut config = MatrixConfig::quick().with_threads(threads);
+    if flag_present(args, "--full") {
+        config.grid = crate::ablations::CompositionGrid::paper();
+    }
+    if let Some(max) = numeric_flag(args, "--max-compositions")? {
+        if max == 0 {
+            return Err("--max-compositions must be at least 1".into());
+        }
+        config = config.with_max_compositions(max);
+    }
+
+    // The dry run: print the pruned enumeration (what the matrix *would*
+    // route) and exit without touching any suite.
+    if flag_present(args, "--list-compositions") {
+        let specs = config.compositions();
+        println!(
+            "{} compositions ({} raw grid points before pruning)",
+            specs.len(),
+            config.grid.raw_combinations()
+        );
+        for spec in &specs {
+            println!("  {}", spec.id());
+        }
+        return Ok(EXIT_OK);
+    }
+
+    let dir = suite_flag(args)?.ok_or(
+        "ablations --grid requires --suite DIR (the known-optimal corpus to rank \
+         against; create one with `qubikos suite export`)",
+    )?;
+    let json_path = match arg_value(args, "--json") {
+        Some(value) if value.starts_with("--") => {
+            return Err(format!("--json requires an output path, found flag `{value}`").into())
+        }
+        Some(value) => Some(value),
+        None if flag_present(args, "--json") => return Err("--json requires an output path".into()),
+        None => None,
+    };
+    let timing_path = match arg_value(args, "--timing-json") {
+        Some(value) if value.starts_with("--") => {
+            return Err(
+                format!("--timing-json requires an output path, found flag `{value}`").into(),
+            )
+        }
+        Some(value) => Some(value),
+        None if flag_present(args, "--timing-json") => {
+            return Err("--timing-json requires an output path".into())
+        }
+        None => None,
+    };
+
+    let store = SuiteStore::open(&dir)?;
+    let progress = StderrProgress::new(format!("ablation matrix {}", store.device().name()), 20);
+    let timing = TimingSink::new();
+    let mut sinks: Vec<&dyn ProgressSink> = vec![&progress];
+    if timing_path.is_some() {
+        sinks.push(&timing);
+    }
+    let outcome = run_composition_matrix(&store, &config, &TeeSink::new(sinks))?;
+    print!("{}", render_composition_matrix(&outcome.report));
+    eprintln!(
+        "ablation matrix: {} (composition, circuit) pairs routed, {} served from cache",
+        outcome.routed, outcome.cache_hits
+    );
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&outcome.report).expect("matrix report serializes");
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote composition matrix to {path}");
+    }
+    if let Some(path) = timing_path {
+        // Same shape as the eval export: (label, report) pairs, one entry
+        // whose jobs are this run's cache misses.
+        let timings = vec![(
+            format!("ablation-matrix-{}", store.device().name()),
+            timing.report().expect("matrix run finished"),
+        )];
+        let json = serde_json::to_string_pretty(&timings).expect("timing reports serialize");
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote per-job timings to {path}");
+    }
+    if flag_present(args, "--require-cached") && outcome.routed > 0 {
+        eprintln!(
+            "ERROR: --require-cached but {} pairs were routed fresh",
+            outcome.routed
+        );
+        return Ok(EXIT_POLICY);
+    }
+    Ok(EXIT_OK)
 }
 
 #[cfg(test)]
@@ -722,6 +885,50 @@ mod tests {
         ]))
         .expect("smoke run completes despite the zero deadline");
         assert_eq!(code, EXIT_TIMEOUT);
+    }
+
+    #[test]
+    fn unknown_tool_is_an_error_with_a_suggestion() {
+        let err = eval_command(&args(&["--tools", "lightsaber", "--arch", "grid"]))
+            .expect_err("typo must not silently evaluate the wrong tools");
+        let text = err.to_string();
+        assert!(text.contains("unknown tool `lightsaber`"), "{text}");
+        assert!(text.contains("did you mean `lightsabre`"), "{text}");
+        assert!(text.contains("known tools:"), "{text}");
+        assert!(eval_command(&args(&["--tools"])).is_err());
+        assert!(eval_command(&args(&["--tools", ","])).is_err());
+    }
+
+    #[test]
+    fn grid_flags_require_the_grid_mode_and_a_suite() {
+        assert!(ablations_command(&args(&["--suite", "somewhere"])).is_err());
+        assert!(ablations_command(&args(&["--list-compositions"])).is_err());
+        assert!(ablations_command(&args(&["--grid"])).is_err());
+        assert!(ablations_command(&args(&["--grid", "--suite"])).is_err());
+        assert!(ablations_command(&args(&["--grid", "--max-compositions", "0"])).is_err());
+        assert!(ablations_command(&args(&[
+            "--grid",
+            "--suite",
+            "x",
+            "--max-compositions",
+            "lots"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn list_compositions_is_a_dry_run_that_needs_no_suite() {
+        let code = ablations_command(&args(&["--grid", "--list-compositions"]))
+            .expect("dry run touches no suite");
+        assert_eq!(code, EXIT_OK);
+        let code = ablations_command(&args(&[
+            "--grid",
+            "--list-compositions",
+            "--max-compositions",
+            "4",
+        ]))
+        .expect("truncated dry run");
+        assert_eq!(code, EXIT_OK);
     }
 
     #[test]

@@ -481,8 +481,9 @@ fn eval_shard(
 
 /// The point-major (tool, circuit) job list both pipelines share: all tools
 /// of point 0, then all tools of point 1, … so the expensive large instances
-/// of different tools interleave across workers.
-fn all_pairs(points: usize, tools: usize) -> Vec<(usize, usize)> {
+/// of different tools interleave across workers. Shared with the ablation
+/// matrix, whose "tools" are composition indices.
+pub(crate) fn all_pairs(points: usize, tools: usize) -> Vec<(usize, usize)> {
     (0..points)
         .flat_map(|point_index| (0..tools).map(move |tool_index| (tool_index, point_index)))
         .collect()
@@ -597,7 +598,11 @@ fn assemble_report(
     fold.finish(device)
 }
 
-fn route_and_count(router: &dyn Router, point: &ExperimentPoint, arch: &Architecture) -> usize {
+pub(crate) fn route_and_count(
+    router: &dyn Router,
+    point: &ExperimentPoint,
+    arch: &Architecture,
+) -> usize {
     let routed = router
         .route(point.benchmark.circuit(), arch)
         .expect("benchmark circuits always fit their own architecture");

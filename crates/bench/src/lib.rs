@@ -7,6 +7,7 @@
 //! | Abstract headline gaps (per-tool averages across devices) | [`evaluation::aggregate_by_tool`], printed by `tool_evaluation --all` |
 //! | §IV-C LightSABRE case study (lookahead decay) | [`case_study::run_case_study`], `--bin sabre_case_study` |
 //! | Design ablations (trials, extended-set size, padding) | [`ablations::run_ablations`], `--bin ablations`, criterion benches |
+//! | Router-construction-kit ablation matrix (composition cross-product ranked against known optima) | [`ablations::run_composition_matrix`], `qubikos ablations --grid` |
 //!
 //! The library functions return plain data structures so that both the CLI
 //! binaries and the criterion benches can reuse them; [`report`] renders the
@@ -44,7 +45,11 @@ pub mod report;
 pub mod store;
 pub mod vfs;
 
-pub use ablations::{run_ablations, AblationConfig, AblationPoint, AblationReport};
+pub use ablations::{
+    run_ablations, run_composition_matrix, run_composition_matrix_partial, AblationConfig,
+    AblationPoint, AblationReport, CompositionGrid, CompositionSummary, MatrixConfig,
+    MatrixOutcome, MatrixReport,
+};
 pub use analytics::{
     gap_bucket, run_suite_analytics, run_suite_analytics_with_sink, AnalyticsConfig,
     AnalyticsReport, ScalingPoint, ShardSummary, ToolSummary, GAP_BUCKETS, GAP_BUCKET_EDGES,

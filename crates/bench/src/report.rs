@@ -1,7 +1,7 @@
 //! Plain-text rendering of experiment reports, mirroring the rows the paper
 //! plots in Figure 4 and quotes in the text.
 
-use crate::ablations::AblationReport;
+use crate::ablations::{AblationReport, MatrixReport};
 use crate::analytics::{AnalyticsReport, GAP_BUCKET_EDGES};
 use crate::case_study::CaseStudyOutcome;
 use crate::evaluation::EvaluationReport;
@@ -226,6 +226,38 @@ pub fn render_ablations(report: &AblationReport) -> String {
     out
 }
 
+/// Renders the ranked composition matrix: one row per composition, best
+/// mean gap first. The id doubles as the cache namespace, so a row can be
+/// correlated with its `results/<id>/` entries directly.
+pub fn render_composition_matrix(report: &MatrixReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "composition matrix on {}: {} compositions ranked over {} known-optimal instances",
+        report.device.name(),
+        report.compositions.len(),
+        report.instances
+    );
+    let _ = writeln!(
+        out,
+        "{:>4}  {:<44}{:>10}{:>10}{:>10}{:>12}",
+        "rank", "composition", "mean gap", "win rate", "optimal", "avg swaps"
+    );
+    for (rank, row) in report.compositions.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<44}{:>9.2}x{:>9.0}%{:>10}{:>12.2}",
+            rank + 1,
+            row.id,
+            row.mean_gap,
+            row.win_rate * 100.0,
+            row.optimal,
+            row.average_swaps
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +405,34 @@ mod tests {
         assert!(text.contains("extended-set=20"));
         assert!(text.contains("two-qubit gates=200"));
         assert!(text.contains("optimal swaps = 6"));
+    }
+
+    #[test]
+    fn composition_matrix_renders_ranked_rows() {
+        use crate::ablations::CompositionSummary;
+        use qubikos_layout::RouterSpec;
+        let row = |id: &str, gap: f64, wins: usize| CompositionSummary {
+            id: id.to_string(),
+            spec: RouterSpec::tket(),
+            instances: 4,
+            average_swaps: 3.25,
+            mean_gap: gap,
+            wins,
+            win_rate: wins as f64 / 4.0,
+            optimal: wins,
+        };
+        let text = render_composition_matrix(&MatrixReport {
+            device: DeviceKind::Grid3x3,
+            instances: 4,
+            compositions: vec![
+                row("g1x1s16.front.nodecay.idxtie.bfs.uw", 1.25, 4),
+                row("astar256.front.nodecay.idxtie.ident.uw", 2.5, 1),
+            ],
+        });
+        assert!(text.contains("2 compositions ranked over 4 known-optimal instances"));
+        assert!(text.contains("   1  g1x1s16.front.nodecay.idxtie.bfs.uw"));
+        assert!(text.contains("   2  astar256.front.nodecay.idxtie.ident.uw"));
+        assert!(text.contains("1.25x"));
+        assert!(text.contains("100%"));
     }
 }

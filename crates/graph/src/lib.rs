@@ -22,6 +22,9 @@
 //! * [`isomorphism`] — VF2-style subgraph monomorphism, used both to check
 //!   that QUBIKOS interaction graphs cannot be embedded into the coupling
 //!   graph and to implement QUEKO-style initial placement.
+//! * [`weights`] — per-coupler SWAP-cost weights ([`CouplerWeights`]):
+//!   uniform today, fidelity-derived heterogeneous costs as a scenario axis,
+//!   threaded through the routing kernel's score multipliers.
 //! * [`generators`] — deterministic generators for standard topologies.
 //!
 //! # Example
@@ -46,6 +49,7 @@ pub mod isomorphism;
 pub mod landmark;
 pub mod oracle;
 pub mod traversal;
+pub mod weights;
 
 pub use csr::CsrGraph;
 pub use distance::DistanceMatrix;
@@ -57,3 +61,4 @@ pub use oracle::{
     DENSE_ORACLE_MAX_NODES, SPARSE_ROW_CACHE_CAPACITY,
 };
 pub use traversal::{bfs_distances, bfs_edge_order, bfs_order, connected_components};
+pub use weights::CouplerWeights;

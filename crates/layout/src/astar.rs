@@ -66,10 +66,25 @@ impl AStarRouter {
     }
 }
 
-impl Router for AStarRouter {
-    fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
+impl AStarRouter {
+    /// Routes `circuit` from a caller-supplied initial mapping — the same
+    /// per-layer search as [`Router::route`], with the placement stage
+    /// skipped. This is the hook the composed-router construction kit uses
+    /// to pair the QMAP search with any
+    /// [`PlacementStrategy`](crate::kernel::PlacementStrategy) — see
+    /// [`crate::composed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::TooManyQubits`] if the circuit does not fit.
+    pub fn route_with_initial_mapping(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+        initial: &Mapping,
+    ) -> Result<RoutedCircuit, RouteError> {
         check_fit(circuit, arch)?;
-        let initial = greedy_bfs_placement(circuit, arch);
+        let initial = initial.clone();
         let mut mapping = initial.clone();
         let problem = RoutingProblem::forward_only(circuit);
         let view = problem.forward();
@@ -125,6 +140,14 @@ impl Router for AStarRouter {
             final_mapping: mapping,
             tool: self.name().to_string(),
         })
+    }
+}
+
+impl Router for AStarRouter {
+    fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
+        check_fit(circuit, arch)?;
+        let initial = greedy_bfs_placement(circuit, arch);
+        self.route_with_initial_mapping(circuit, arch, &initial)
     }
 
     fn name(&self) -> &str {

@@ -35,10 +35,16 @@
 //! rather than re-deriving the machinery.
 
 pub mod front;
+pub mod policy;
 pub mod score;
 pub mod scratch;
 
 pub use front::FrontTracker;
+pub use policy::{
+    run_greedy_pass, AdditiveDecay, DecaySchedule, DistanceRefinedTies, GreedyBfsRestarts,
+    GreedyPolicies, GreedyScratch, IdentityPlacement, LookaheadPolicy, NoDecay, PlacementStrategy,
+    QubitIndexTies, SeededRandomTies, TieBreaker, WindowLookahead,
+};
 pub use score::{ScoreParams, SwapScorer};
 pub use scratch::{ShadowCounts, StampSet};
 

@@ -24,8 +24,15 @@
 //! treat them uniformly, and every result can be checked with
 //! [`validate_routing`]. The shared routing machinery — per-call
 //! [`RoutingProblem`](kernel::RoutingProblem) construction, front-layer
-//! tracking, and incremental SWAP scoring — lives in the [`kernel`] module;
-//! each router module contributes only its tool-specific policy on top.
+//! tracking, incremental SWAP scoring and the policy-parameterized greedy
+//! loop ([`kernel::policy`]) — lives in the [`kernel`] module; each router
+//! module contributes only its tool-specific policy on top.
+//!
+//! The [`composed`] module is the *router construction kit*: a
+//! [`RouterSpec`] composes one choice per policy axis (lookahead, decay,
+//! tie-breaking, placement, coupler weights, search engine) into a
+//! [`ComposedRouter`], the four paper tools are named compositions, and the
+//! benchmark harness enumerates the cross-product as an ablation matrix.
 //!
 //! # Example
 //!
@@ -47,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod astar;
+pub mod composed;
 pub mod kernel;
 pub mod mapping;
 pub mod multilevel;
@@ -58,12 +66,16 @@ pub mod tket;
 pub mod validate;
 
 pub use astar::{AStarConfig, AStarRouter};
+pub use composed::{
+    ComposedRouter, DecaySpec, LookaheadSpec, PlacementSpec, RouterSpec, SearchSpec,
+    TieBreakerSpec, WeightsSpec,
+};
 pub use kernel::{FrontTracker, RoutingProblem, SwapScorer};
 pub use mapping::Mapping;
-pub use multilevel::{MultilevelConfig, MultilevelRouter};
+pub use multilevel::{MultilevelConfig, MultilevelPlacement, MultilevelRouter};
 pub use placement::{greedy_bfs_placement, random_placement, vf2_placement};
 pub use result::RoutedCircuit;
-pub use router::{RouteError, Router, ToolKind};
+pub use router::{RouteError, Router, ToolKind, ToolParseError};
 pub use sabre::{SabreConfig, SabreRouter};
 pub use tket::{TketConfig, TketRouter};
 pub use validate::{validate_routing, ValidationError};

@@ -308,6 +308,41 @@ impl MultilevelRouter {
     }
 }
 
+/// The multilevel placement pipeline as a kernel
+/// [`PlacementStrategy`](crate::kernel::PlacementStrategy): trial 0 runs the
+/// full coarsen–place–refine hierarchy, later trials fall back to random
+/// restarts like every other strategy. This is how the composed-router
+/// construction kit (see [`crate::composed`]) mixes ML-QLS placement with
+/// arbitrary routing policies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultilevelPlacement {
+    config: MultilevelConfig,
+}
+
+impl MultilevelPlacement {
+    /// A placement strategy using the given multilevel tuning knobs (the
+    /// seed field is ignored; the hierarchy is deterministic).
+    pub fn new(config: MultilevelConfig) -> Self {
+        MultilevelPlacement { config }
+    }
+}
+
+impl crate::kernel::PlacementStrategy for MultilevelPlacement {
+    fn place(
+        &self,
+        trial: usize,
+        circuit: &Circuit,
+        arch: &Architecture,
+        rng: &mut rand_chacha::ChaCha8Rng,
+    ) -> Mapping {
+        if trial == 0 {
+            MultilevelRouter::new(self.config).place(circuit, arch)
+        } else {
+            Mapping::random(circuit.num_qubits(), arch.num_qubits(), rng)
+        }
+    }
+}
+
 impl Router for MultilevelRouter {
     fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
         crate::kernel::check_fit(circuit, arch)?;

@@ -23,16 +23,15 @@
 //! can reproduce the analysis.
 
 use crate::kernel::{
-    check_fit, force_adjacent, FrontTracker, ProblemView, RoutingProblem, ScoreParams, SwapScorer,
+    check_fit, run_greedy_pass, AdditiveDecay, GreedyBfsRestarts, GreedyPolicies, GreedyScratch,
+    PlacementStrategy, RoutingProblem, SeededRandomTies, WindowLookahead,
 };
 use crate::mapping::Mapping;
-use crate::placement::greedy_bfs_placement;
 use crate::result::RoutedCircuit;
 use crate::router::{RouteError, Router};
 use qubikos_arch::Architecture;
-use qubikos_circuit::{Circuit, Gate};
-use qubikos_graph::NodeId;
-use rand::seq::SliceRandom;
+use qubikos_circuit::Circuit;
+use qubikos_graph::CouplerWeights;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -106,10 +105,29 @@ impl SabreConfig {
         self
     }
 
-    fn score_params(&self) -> ScoreParams {
-        ScoreParams {
+    /// Returns the config with its lookahead knobs replaced wholesale by a
+    /// [`WindowLookahead`] policy (the ablation benches sweep these).
+    pub fn with_lookahead(mut self, lookahead: WindowLookahead) -> Self {
+        self.extended_set_size = lookahead.window;
+        self.extended_set_weight = lookahead.extended_set_weight;
+        self.lookahead_decay = lookahead.depth_decay;
+        self
+    }
+
+    /// This config's lookahead knobs as a kernel [`WindowLookahead`] policy.
+    pub fn lookahead_policy(&self) -> WindowLookahead {
+        WindowLookahead {
+            window: self.extended_set_size,
             extended_set_weight: self.extended_set_weight,
-            lookahead_decay: self.lookahead_decay,
+            depth_decay: self.lookahead_decay,
+        }
+    }
+
+    /// This config's decay knobs as a kernel [`AdditiveDecay`] schedule.
+    pub fn decay_schedule(&self) -> AdditiveDecay {
+        AdditiveDecay {
+            increment: self.decay_increment,
+            reset_interval: self.decay_reset_interval,
         }
     }
 }
@@ -147,13 +165,23 @@ impl SabreRouter {
     ) -> Result<RoutedCircuit, RouteError> {
         check_fit(circuit, arch)?;
         let problem = RoutingProblem::forward_only(circuit);
-        let mut scratch = SabreScratch::default();
+        let lookahead = self.config.lookahead_policy();
+        let decay = self.config.decay_schedule();
+        let weights = CouplerWeights::uniform();
+        let policies = GreedyPolicies {
+            lookahead: &lookahead,
+            decay: &decay,
+            tie_breaker: &SeededRandomTies,
+            weights: &weights,
+            stall_threshold: self.config.release_valve_threshold,
+        };
+        let mut scratch = GreedyScratch::default();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut physical = Circuit::new(arch.num_qubits());
-        let final_mapping = run_pass(
+        let final_mapping = run_greedy_pass(
             problem.forward(),
             arch,
-            &self.config,
+            &policies,
             initial.clone(),
             &mut rng,
             &mut scratch,
@@ -175,18 +203,24 @@ impl Router for SabreRouter {
         // Forward and reversed DAGs are built exactly once here and shared
         // by every trial and every mapping pass below.
         let problem = RoutingProblem::bidirectional(circuit);
-        let mut scratch = SabreScratch::default();
+        let lookahead = config.lookahead_policy();
+        let decay = config.decay_schedule();
+        let weights = CouplerWeights::uniform();
+        let policies = GreedyPolicies {
+            lookahead: &lookahead,
+            decay: &decay,
+            tie_breaker: &SeededRandomTies,
+            weights: &weights,
+            stall_threshold: config.release_valve_threshold,
+        };
+        let mut scratch = GreedyScratch::default();
         let mut best: Option<RoutedCircuit> = None;
 
         for trial in 0..config.trials.max(1) {
             let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(trial as u64));
             // Trial 0 starts from the structure-aware greedy placement, the
             // rest from random placements (the SABRE random-restart scheme).
-            let mut mapping = if trial == 0 {
-                greedy_bfs_placement(circuit, arch)
-            } else {
-                Mapping::random(circuit.num_qubits(), arch.num_qubits(), &mut rng)
-            };
+            let mut mapping = GreedyBfsRestarts.place(trial, circuit, arch, &mut rng);
 
             // Forward/backward passes refine the initial mapping: the final
             // mapping of each pass seeds the next pass on the reversed
@@ -200,16 +234,17 @@ impl Router for SabreRouter {
                 } else {
                     problem.reversed()
                 };
-                mapping = run_pass(view, arch, config, mapping, &mut rng, &mut scratch, None);
+                mapping =
+                    run_greedy_pass(view, arch, &policies, mapping, &mut rng, &mut scratch, None);
             }
             // If an even number of refinement passes was run the mapping now
             // describes the reversed circuit's start, which is exactly the
             // forward circuit's best-known start as well.
             let mut physical = Circuit::new(arch.num_qubits());
-            let final_mapping = run_pass(
+            let final_mapping = run_greedy_pass(
                 problem.forward(),
                 arch,
-                config,
+                &policies,
                 mapping.clone(),
                 &mut rng,
                 &mut scratch,
@@ -237,193 +272,13 @@ impl Router for SabreRouter {
     }
 }
 
-/// Kernel state reused across every pass and trial of one route call.
-#[derive(Debug, Clone, Default)]
-struct SabreScratch {
-    tracker: FrontTracker,
-    scorer: SwapScorer,
-    candidates: Vec<(NodeId, NodeId)>,
-    ties: Vec<(NodeId, NodeId)>,
-    decay: Vec<f64>,
-}
-
-/// One SABRE routing pass over `view` from `mapping`; returns the final
-/// mapping. When `out` is `Some`, the physical circuit (attached
-/// single-qubit gates, two-qubit gates, SWAPs, trailing gates) is emitted
-/// into it; refinement passes pass `None` and skip emission entirely.
-fn run_pass(
-    view: &ProblemView,
-    arch: &Architecture,
-    config: &SabreConfig,
-    mut mapping: Mapping,
-    rng: &mut ChaCha8Rng,
-    scratch: &mut SabreScratch,
-    mut out: Option<&mut Circuit>,
-) -> Mapping {
-    let dag = view.dag();
-    let params = config.score_params();
-    scratch.tracker.reset(dag);
-    scratch.decay.clear();
-    scratch.decay.resize(arch.num_qubits(), 1.0);
-    let mut decisions_since_reset = 0usize;
-    let mut swaps_since_progress = 0usize;
-    // The scorer snapshot is valid until the front changes or the mapping
-    // moves without the scorer seeing it (release valve).
-    let mut scorer_ready = false;
-
-    while !scratch.tracker.is_done() {
-        // Execute every front gate whose qubits are adjacent.
-        let out_ref = &mut out;
-        let executed_any = scratch.tracker.advance(
-            dag,
-            |node| {
-                let (a, b) = dag.qubit_pair(node);
-                arch.are_coupled(mapping.physical(a), mapping.physical(b))
-            },
-            |node| {
-                if let Some(out) = out_ref.as_deref_mut() {
-                    view.emit(node, &mapping, out);
-                }
-            },
-        );
-        if executed_any {
-            swaps_since_progress = 0;
-            scratch.decay.iter_mut().for_each(|d| *d = 1.0);
-            decisions_since_reset = 0;
-            scorer_ready = false;
-            continue;
-        }
-        if scratch.tracker.is_done() {
-            break;
-        }
-
-        // Release valve: force the closest front gate through if the
-        // heuristic has been spinning without progress.
-        if swaps_since_progress >= config.release_valve_threshold {
-            force_closest_gate(view, arch, &mut mapping, &mut out, scratch);
-            swaps_since_progress = 0;
-            scorer_ready = false;
-            continue;
-        }
-
-        if !scorer_ready {
-            scratch
-                .tracker
-                .compute_extended_set(dag, config.extended_set_size);
-            scratch.scorer.prepare(
-                scratch.tracker.front(),
-                scratch.tracker.extended(),
-                dag,
-                &mapping,
-                arch,
-                &params,
-            );
-            scorer_ready = true;
-        }
-
-        // Score candidate SWAPs and apply the best one (ties broken at
-        // random, exactly as before the kernel).
-        scratch
-            .scorer
-            .candidates_into(arch, &mut scratch.candidates);
-        debug_assert!(
-            !scratch.candidates.is_empty(),
-            "front gates always have candidate swaps"
-        );
-        // On landmark-backed devices, discard candidates whose bound-side
-        // score provably cannot reach the winner's tie band; the exact scan
-        // below then only pays for plausible candidates. A no-op on
-        // dense/sparse oracles, and bit-identical either way — the decayed
-        // scores the bounds bracket are exactly the scores compared below.
-        {
-            let SabreScratch {
-                scorer,
-                candidates,
-                decay,
-                ..
-            } = &mut *scratch;
-            scorer.prune_candidates(candidates, arch, &params, |(pa, pb)| {
-                decay[pa].max(decay[pb])
-            });
-        }
-        let mut best_score = f64::INFINITY;
-        scratch.ties.clear();
-        for i in 0..scratch.candidates.len() {
-            let (pa, pb) = scratch.candidates[i];
-            let decay_factor = scratch.decay[pa].max(scratch.decay[pb]);
-            // Reuse the decayed score when the prune pass already computed
-            // it exactly (bitwise-identical float pipeline), sparing the
-            // rescan; candidates the bounds only bracketed pay the exact
-            // scan here.
-            let score = match scratch.scorer.pruned_score(i) {
-                Some(score) => score,
-                None => decay_factor * scratch.scorer.swap_cost((pa, pb), arch, &params),
-            };
-            if score < best_score - 1e-12 {
-                best_score = score;
-                scratch.ties.clear();
-                scratch.ties.push((pa, pb));
-            } else if (score - best_score).abs() <= 1e-12 {
-                scratch.ties.push((pa, pb));
-            }
-        }
-        let chosen = *scratch.ties.choose(rng).expect("non-empty candidate set");
-        if let Some(out) = out.as_deref_mut() {
-            out.push(Gate::swap(chosen.0, chosen.1));
-        }
-        mapping.apply_swap_physical(chosen.0, chosen.1);
-        scratch.scorer.apply(chosen, arch);
-        scratch.decay[chosen.0] += config.decay_increment;
-        scratch.decay[chosen.1] += config.decay_increment;
-        decisions_since_reset += 1;
-        swaps_since_progress += 1;
-        if decisions_since_reset >= config.decay_reset_interval {
-            scratch.decay.iter_mut().for_each(|d| *d = 1.0);
-            decisions_since_reset = 0;
-        }
-    }
-
-    // Emit trailing single-qubit gates under the final mapping.
-    if let Some(out) = out {
-        view.emit_trailing(&mapping, out);
-    }
-    mapping
-}
-
-/// Forces the front gate whose qubits are closest together to execute by
-/// swapping one qubit along a shortest path towards the other. The gate
-/// itself executes on the next main-loop iteration.
-fn force_closest_gate(
-    view: &ProblemView,
-    arch: &Architecture,
-    mapping: &mut Mapping,
-    out: &mut Option<&mut Circuit>,
-    scratch: &SabreScratch,
-) {
-    let dag = view.dag();
-    let &node = scratch
-        .tracker
-        .front()
-        .iter()
-        .min_by_key(|&&n| {
-            let (a, b) = dag.qubit_pair(n);
-            arch.distance(mapping.physical(a), mapping.physical(b))
-        })
-        .expect("front is non-empty");
-    let (a, b) = dag.qubit_pair(node);
-    force_adjacent(arch, mapping, a, b, |u, v| {
-        if let Some(out) = out.as_deref_mut() {
-            out.push(Gate::swap(u, v));
-        }
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kernel::dag_builds_on_this_thread;
     use crate::validate::validate_routing;
     use qubikos_arch::devices;
+    use qubikos_circuit::Gate;
     use rand::Rng;
 
     fn random_circuit(num_qubits: usize, gates: usize, seed: u64) -> Circuit {

@@ -8,19 +8,25 @@
 //! are valid but markedly less efficient than the SABRE family on large
 //! devices, which is the qualitative behaviour the paper reports for t|ket⟩.
 //!
-//! The shared machinery — DAG construction, front tracking, and incremental
-//! front-distance scoring — comes from [`crate::kernel`]; only the greedy
-//! policy lives here.
+//! The shared machinery — DAG construction, front tracking, incremental
+//! front-distance scoring and the greedy loop itself — comes from
+//! [`crate::kernel`]; this router is simply the composition of a front-only
+//! [`WindowLookahead`], [`NoDecay`](crate::kernel::NoDecay), first-candidate
+//! [`QubitIndexTies`] tie-breaking (which reproduces t|ket⟩'s
+//! first-integer-minimum selection exactly — see the tie-breaker docs) and
+//! greedy-BFS placement, run as a single forward pass.
 
 use crate::kernel::{
-    check_fit, force_adjacent, FrontTracker, RoutingProblem, ScoreParams, SwapScorer,
+    check_fit, run_greedy_pass, GreedyBfsRestarts, GreedyPolicies, GreedyScratch, NoDecay,
+    PlacementStrategy, QubitIndexTies, RoutingProblem, WindowLookahead,
 };
-use crate::placement::greedy_bfs_placement;
 use crate::result::RoutedCircuit;
 use crate::router::{RouteError, Router};
 use qubikos_arch::Architecture;
-use qubikos_circuit::{Circuit, Gate};
-use qubikos_graph::NodeId;
+use qubikos_circuit::Circuit;
+use qubikos_graph::CouplerWeights;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs of the t|ket⟩-style router.
@@ -67,87 +73,36 @@ impl TketRouter {
 impl Router for TketRouter {
     fn route(&self, circuit: &Circuit, arch: &Architecture) -> Result<RoutedCircuit, RouteError> {
         check_fit(circuit, arch)?;
-        let initial = greedy_bfs_placement(circuit, arch);
-        let mut mapping = initial.clone();
         let problem = RoutingProblem::forward_only(circuit);
-        let view = problem.forward();
-        let dag = view.dag();
-        let params = ScoreParams::front_only();
-        let mut tracker = FrontTracker::new();
-        tracker.reset(dag);
-        let mut scorer = SwapScorer::new();
-        let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
+        let lookahead = WindowLookahead::front_only();
+        let weights = CouplerWeights::uniform();
+        let policies = GreedyPolicies {
+            lookahead: &lookahead,
+            decay: &NoDecay,
+            tie_breaker: &QubitIndexTies,
+            weights: &weights,
+            stall_threshold: self.config.stall_threshold,
+        };
+        let mut scratch = GreedyScratch::default();
+        // The deterministic tie-breaker and trial-0 placement never draw
+        // from the RNG; it exists to satisfy the pass signature.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let initial = GreedyBfsRestarts.place(0, circuit, arch, &mut rng);
         let mut out = Circuit::new(arch.num_qubits());
-        let mut stall = 0usize;
-        let mut scorer_ready = false;
-
-        while !tracker.is_done() {
-            let out_ref = &mut out;
-            let executed_any = tracker.advance(
-                dag,
-                |node| {
-                    let (a, b) = dag.qubit_pair(node);
-                    arch.are_coupled(mapping.physical(a), mapping.physical(b))
-                },
-                |node| view.emit(node, &mapping, out_ref),
-            );
-            if executed_any {
-                stall = 0;
-                scorer_ready = false;
-                continue;
-            }
-            if tracker.is_done() {
-                break;
-            }
-
-            if stall >= self.config.stall_threshold {
-                // Fallback: walk the closest blocked gate together along a
-                // shortest path.
-                let &node = tracker
-                    .front()
-                    .iter()
-                    .min_by_key(|&&n| {
-                        let (a, b) = dag.qubit_pair(n);
-                        arch.distance(mapping.physical(a), mapping.physical(b))
-                    })
-                    .expect("front is non-empty");
-                let (a, b) = dag.qubit_pair(node);
-                force_adjacent(arch, &mut mapping, a, b, |u, v| out.push(Gate::swap(u, v)));
-                stall = 0;
-                scorer_ready = false;
-                continue;
-            }
-
-            // Greedy step: the SWAP minimising the summed front distance
-            // (evaluated incrementally over the gates each SWAP touches).
-            if !scorer_ready {
-                scorer.prepare(tracker.front(), &[], dag, &mapping, arch, &params);
-                scorer_ready = true;
-            }
-            scorer.candidates_into(arch, &mut candidates);
-            // Landmark-bound pruning (no-op on dense/sparse oracles): the
-            // scorer's front-only cost is the front-distance sum divided by
-            // the (positive, candidate-independent) front length, so the
-            // integer minimum below and its first occurrence survive
-            // pruning untouched — order is preserved.
-            scorer.prune_candidates(&mut candidates, arch, &params, |_| 1.0);
-            let (pa, pb) = candidates
-                .iter()
-                .copied()
-                .min_by_key(|&swap| scorer.front_total(swap, arch))
-                .expect("blocked front gates always have incident couplers");
-            out.push(Gate::swap(pa, pb));
-            mapping.apply_swap_physical(pa, pb);
-            scorer.apply((pa, pb), arch);
-            stall += 1;
-        }
-
-        view.emit_trailing(&mapping, &mut out);
+        let final_mapping = run_greedy_pass(
+            problem.forward(),
+            arch,
+            &policies,
+            initial.clone(),
+            &mut rng,
+            &mut scratch,
+            Some(&mut out),
+        );
 
         Ok(RoutedCircuit {
             physical_circuit: out,
             initial_mapping: initial,
-            final_mapping: mapping,
+            final_mapping,
             tool: self.name().to_string(),
         })
     }
@@ -162,8 +117,8 @@ mod tests {
     use super::*;
     use crate::validate::validate_routing;
     use qubikos_arch::devices;
-    use rand::{Rng, SeedableRng};
-    use rand_chacha::ChaCha8Rng;
+    use qubikos_circuit::Gate;
+    use rand::Rng;
 
     fn random_circuit(num_qubits: usize, gates: usize, seed: u64) -> Circuit {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -148,6 +148,64 @@ fn golden_swap_counts_unchanged_under_landmark_oracle() {
     }
 }
 
+/// The construction kit's new cost axis, pinned: the four named
+/// compositions re-run with **fidelity-derived (non-uniform) coupler
+/// weights** forced on, and the resulting SWAP counts fixed as a fresh
+/// golden scenario. The uniform fixtures above stay untouched — this pins
+/// the weighted decision stream *next to* them, so a change to the weight
+/// hash, the `swap_multiplier` composition, or the pruned-score reuse under
+/// non-uniform weights fails here while the bit-identity fixtures keep
+/// guarding the classic path. QMAP's A* ignores the weight axis (the spec
+/// canonicalizes it away), so its counts must equal the uniform goldens.
+#[test]
+fn golden_swap_counts_under_fidelity_weights() {
+    use qubikos_layout::{Router, RouterSpec, WeightsSpec};
+    /// Seed of the synthetic per-coupler noise model (not the routing seed).
+    const WEIGHT_SEED: u64 = 5;
+    /// (name, arch, circuit qubits, gates, seed, weighted golden counts).
+    type Fixture = (&'static str, Architecture, usize, usize, u64, [usize; 4]);
+    let fixtures: [Fixture; 3] = [
+        ("line-8", devices::line(8), 6, 30, 42, [11, 16, 29, 17]),
+        (
+            "grid-4x4",
+            devices::grid(4, 4),
+            12,
+            60,
+            7,
+            [40, 103, 48, 110],
+        ),
+        (
+            "rochester-53",
+            devices::rochester53(),
+            20,
+            60,
+            3,
+            [1757, 2302, 107, 493],
+        ),
+    ];
+    for (name, arch, qubits, gates, seed, golden) in fixtures {
+        let circuit = random_circuit(qubits, gates, seed);
+        for (tool, expected) in ToolKind::ALL.into_iter().zip(golden) {
+            let spec = RouterSpec {
+                weights: WeightsSpec::Fidelity { seed: WEIGHT_SEED },
+                ..tool.spec()
+            }
+            .canonicalized();
+            let routed = spec
+                .build_named(TOOL_SEED, tool.name())
+                .route(&circuit, &arch)
+                .expect("fits");
+            validate_routing(&circuit, &arch, &routed).expect("valid routing");
+            assert_eq!(
+                routed.swap_count(),
+                expected,
+                "{name}/{tool} (fidelity-weighted): routing decisions changed (got {}, golden {expected})",
+                routed.swap_count()
+            );
+        }
+    }
+}
+
 /// Osprey-433 golden fixture: one small QUEKO instance routed by all four
 /// tools on the auto-selected (landmark-backed) oracle, exact SWAP counts
 /// pinned. Any change to landmark selection, bound pruning, pinned

@@ -9,7 +9,8 @@ use qubikos_graph::{
     find_subgraph_embedding, generators, isomorphism::verify_embedding, DistanceMatrix,
 };
 use qubikos_layout::{
-    validate_routing, Mapping, Router, SabreConfig, SabreRouter, TketRouter, ToolKind,
+    validate_routing, AStarRouter, Mapping, MultilevelRouter, Router, RouterSpec, SabreConfig,
+    SabreRouter, TketRouter, ToolKind,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -126,6 +127,56 @@ proptest! {
             prop_assert_eq!(&first.physical_circuit, &second.physical_circuit, "{} diverged", tool);
             prop_assert_eq!(&first.initial_mapping, &second.initial_mapping, "{} diverged", tool);
             prop_assert_eq!(&first.final_mapping, &second.final_mapping, "{} diverged", tool);
+        }
+    }
+
+    /// The construction kit's refactor contract: every named composition is
+    /// bit-identical (physical circuit, mappings, tool tag) to the
+    /// pre-refactor monolithic router it replaces, on arbitrary QUEKO
+    /// instances — not just the fixed golden circuits. The SABRE pair also
+    /// sweeps the routing seed, since the seed threads through trials and
+    /// tie-breaking; the other three are seed-free by construction.
+    #[test]
+    fn named_compositions_match_pre_refactor_routers_on_queko(
+        instance_seed in 0u64..200,
+        swaps in 1usize..4,
+        router_seed in 0u64..100,
+    ) {
+        let arch = devices::grid(3, 3);
+        let bench = generate(&arch, &GeneratorConfig::new(swaps, 25).with_seed(instance_seed))
+            .expect("generates");
+        let circuit = bench.circuit();
+        type Legacy = Box<dyn Router>;
+        let pairs: [(&str, RouterSpec, u64, Legacy); 4] = [
+            (
+                "lightsabre",
+                RouterSpec::lightsabre(),
+                router_seed,
+                Box::new(SabreRouter::new(SabreConfig::default().with_seed(router_seed))),
+            ),
+            ("tket", RouterSpec::tket(), 0, Box::<TketRouter>::default()),
+            ("ml-qls", RouterSpec::ml_qls(), 0, Box::<MultilevelRouter>::default()),
+            ("qmap", RouterSpec::qmap(), 0, Box::<AStarRouter>::default()),
+        ];
+        for (name, spec, seed, legacy) in pairs {
+            let expected = legacy.route(circuit, &arch).expect("fits");
+            let composed = spec
+                .build_named(seed, name)
+                .route(circuit, &arch)
+                .expect("fits");
+            prop_assert_eq!(
+                &expected.physical_circuit, &composed.physical_circuit,
+                "{} physical circuit diverged", name
+            );
+            prop_assert_eq!(
+                &expected.initial_mapping, &composed.initial_mapping,
+                "{} initial mapping diverged", name
+            );
+            prop_assert_eq!(
+                &expected.final_mapping, &composed.final_mapping,
+                "{} final mapping diverged", name
+            );
+            prop_assert_eq!(&expected.tool, &composed.tool, "{} tool tag diverged", name);
         }
     }
 
